@@ -1,0 +1,58 @@
+"""E19 (design ablation): remove TPUv4i's features one at a time.
+
+Each DESIGN.md-called-out choice gets an ablated variant: no CMEM, a
+two-core split of the same MXUs (the training-chip organization), halved
+HBM bandwidth, and a 700 MHz clock. Evaluated on one app per family at
+the apps' serving batches. The shape: every ablation loses somewhere —
+CMEM protects weight-streaming apps, the single big core protects
+latency, HBM bandwidth protects the memory-bound tail.
+"""
+
+import math
+
+from repro.arch import TPUV4I
+from repro.core import DesignPoint
+from repro.util.tables import Table
+from repro.util.units import GIGA, MHZ
+
+from benchmarks.conftest import record, run_once
+from repro.workloads import app_by_name
+
+APPS = ("mlp1", "cnn0", "rnn0", "bert0")
+
+VARIANTS = (
+    ("TPUv4i (shipped)", TPUV4I),
+    ("no CMEM", TPUV4I.variant("v4i-nocmem", cmem_bytes=0, cmem_bw=0.0)),
+    ("2 small cores", TPUV4I.variant("v4i-2core", cores=2, mxus_per_core=2)),
+    ("half HBM BW", TPUV4I.variant("v4i-halfbw", hbm_bw=307 * GIGA)),
+    ("700 MHz clock", TPUV4I.variant("v4i-slow", clock_hz=700 * MHZ)),
+)
+
+
+def build_figure() -> str:
+    table = Table(
+        ["variant"] + [f"{a} ms" for a in APPS]
+        + ["geomean qps", "vs shipped"],
+        title="Figure: ablating TPUv4i's design choices (latency + throughput)")
+    baseline_qps = None
+    for label, chip in VARIANTS:
+        point = DesignPoint(chip)
+        latencies = []
+        qps = []
+        for name in APPS:
+            spec = app_by_name(name)
+            evaluation = point.evaluate(spec)
+            latencies.append(evaluation.latency_s * 1e3)
+            qps.append(evaluation.chip_qps)
+        geomean = math.prod(qps) ** (1 / len(qps))
+        if baseline_qps is None:
+            baseline_qps = geomean
+        table.add_row([label] + [f"{l:.2f}" for l in latencies]
+                      + [geomean, f"{geomean / baseline_qps:.2f}x"])
+    return table.render()
+
+
+def test_fig_design_ablation(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E19_fig_ablation", text)
+    assert "shipped" in text

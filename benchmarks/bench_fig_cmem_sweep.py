@@ -1,0 +1,36 @@
+"""E10 (paper figure): performance vs CMEM capacity.
+
+Sweeps the weight allocator's CMEM budget from 0 to the physical 128 MiB
+for four representative apps. The paper's shape: steep speedup while the
+hot weight working set is moving on-chip, then a plateau once it fits —
+the curve that justified stopping at 128 MiB.
+"""
+
+from repro.core import cmem_sweep
+from repro.util.tables import Table
+from repro.util.units import MIB
+from repro.workloads import app_by_name
+
+from benchmarks.conftest import record, run_once
+
+APPS = ("mlp1", "cnn0", "rnn0", "rnn1")
+CAPACITIES_MIB = (0, 16, 32, 64, 96, 128)
+
+
+def build_figure() -> str:
+    table = Table(["app"] + [f"{c} MiB" for c in CAPACITIES_MIB]
+                  + ["speedup 0->128"],
+                  title="Figure: latency (ms) vs CMEM capacity")
+    for name in APPS:
+        spec = app_by_name(name)
+        sweep = cmem_sweep(spec, [c * MIB for c in CAPACITIES_MIB])
+        latencies = [l for _, l in sweep]
+        table.add_row([name] + [f"{l * 1e3:.2f}" for l in latencies]
+                      + [f"{latencies[0] / latencies[-1]:.2f}x"])
+    return table.render()
+
+
+def test_fig_cmem_capacity(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E10_fig_cmem_sweep", text)
+    assert "128 MiB" in text

@@ -1,0 +1,38 @@
+"""E13 (paper Lesson 2): binary vs compiler compatibility, as a matrix.
+
+For every (source, target) generation pair: does the compiled binary
+decode on the target (it never does across generations), and does HLO
+recompilation succeed (it always does, with an int8 retarget for TPUv1)?
+"""
+
+from repro.arch import GENERATIONS, TPUV2, TPUV3, TPUV4I
+from repro.compiler import migrate_model
+from repro.util.tables import Table
+from repro.workloads import app_by_name
+
+from benchmarks.conftest import record, run_once
+
+
+def build_matrix() -> str:
+    module = app_by_name("cnn0").build(1)
+    chips = (TPUV2, TPUV3, TPUV4I)
+    table = Table(["source -> target", "binary ports?", "recompile works?",
+                   "dtype retarget", "notes"],
+                  title="Figure: cross-generation deployment matrix (cnn0)")
+    for source in chips:
+        for target in GENERATIONS:
+            report = migrate_model(module, source, target)
+            table.add_row([
+                f"{source.name} -> {target.name}",
+                report.binary_portable,
+                report.recompiled,
+                report.retargeted_dtype or "-",
+                report.notes[:58],
+            ])
+    return table.render()
+
+
+def test_fig_compat_matrix(benchmark):
+    text = run_once(benchmark, build_matrix)
+    record("E13_fig_compat", text)
+    assert "->" in text

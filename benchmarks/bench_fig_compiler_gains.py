@@ -1,0 +1,45 @@
+"""E9 (paper figure, Lesson 2): performance arrives by compiler release.
+
+Compiles every production app with each of the six releases spanning 15
+months and reports speedup over the launch compiler. The paper's shape:
+large per-app variance (some apps ~1.1x, some >3x) with a geomean near
+1.9x — hardware performance that shipped as software.
+"""
+
+import math
+
+from repro.arch import TPUV4I
+from repro.compiler import RELEASES, compile_model
+from repro.sim import TensorCoreSim
+from repro.util.tables import Table
+from repro.workloads import PRODUCTION_APPS
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure() -> str:
+    sim = TensorCoreSim(TPUV4I)
+    table = Table(["app"] + [v.name for v in RELEASES] + ["total gain"],
+                  title="Figure: speedup over launch compiler, by release")
+    totals = []
+    for spec in PRODUCTION_APPS:
+        module = spec.build(spec.default_batch)
+        latencies = [
+            sim.run(compile_model(module, TPUV4I, version=v).program).seconds
+            for v in RELEASES
+        ]
+        base = latencies[0]
+        gains = [base / l for l in latencies]
+        totals.append(gains[-1])
+        table.add_row([spec.name] + [f"{g:.2f}x" for g in gains]
+                      + [f"{gains[-1]:.2f}x"])
+    geomean = math.prod(totals) ** (1 / len(totals))
+    footer = (f"geomean gain over 15 months of releases: {geomean:.2f}x "
+              "(paper shape: ~1.9x geomean, wide per-app spread)")
+    return table.render() + "\n" + footer
+
+
+def test_fig_compiler_gains(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E9_fig_compiler_gains", text)
+    assert "geomean" in text

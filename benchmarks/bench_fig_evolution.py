@@ -1,0 +1,32 @@
+"""E4 (paper figure, Lesson 6): the workload mix evolves under you.
+
+Prints the 2016-2020 inference mix by model family: MLP/RNN shrink,
+transformers surge from 5% to ~31% — on hardware architected before
+transformers existed.
+"""
+
+from repro.util.tables import Table, bar_chart
+from repro.workloads import WORKLOAD_MIX_BY_YEAR
+from repro.workloads.evolution import CATEGORIES, transformer_trend
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure() -> str:
+    table = Table(["year"] + list(CATEGORIES),
+                  title="Figure (L6): inference cycles by model family")
+    for year in sorted(WORKLOAD_MIX_BY_YEAR):
+        mix = WORKLOAD_MIX_BY_YEAR[year]
+        table.add_row([year] + [f"{mix[c]:.0%}" for c in CATEGORIES])
+
+    trend = transformer_trend()
+    chart = bar_chart([str(year) for year, _ in trend],
+                      [share for _, share in trend],
+                      title="transformer share of inference cycles")
+    return table.render() + "\n\n" + chart
+
+
+def test_fig_workload_evolution(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E4_fig_evolution", text)
+    assert "Transformer" in text

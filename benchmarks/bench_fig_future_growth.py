@@ -1,0 +1,64 @@
+"""E20 (Lesson 5 applied): serving tomorrow's models on today's chip.
+
+Grows a BERT-class serving model 0-4 years along the 1.5x/yr curve and
+deploys each vintage on TPUv4i at batch 16 under a 15 ms SLO. Two shapes
+to reproduce:
+
+* the SLO margin erodes from ~5x to ~1x across the chip's deployment
+  window — the design had to be provisioned for the *end-of-life*
+  workload, not the launch workload;
+* holding a fixed 5k-qps service costs ~5x more chips four years in.
+
+(Multi-chip pipelines rescue *capacity-bound* models — see E16; a grown
+compute-bound transformer simply needs more chips, which is the point.)
+"""
+
+import math
+
+from repro.arch import TPUV4I
+from repro.core import DesignPoint
+from repro.util.tables import Table
+from repro.workloads.future import deployment_lifetime, scaled_transformer
+
+from benchmarks.conftest import record, run_once
+
+SLO_MS = 15.0
+BATCH = 16
+SERVICE_QPS = 5000.0
+
+
+def build_figure() -> str:
+    point = DesignPoint(TPUV4I)
+    entries = deployment_lifetime(point, slo_ms=SLO_MS, batch=BATCH)
+
+    table = Table([
+        "years", "model", "growth", "weights MiB", "latency ms",
+        "SLO margin", "chip qps", f"chips @ {SERVICE_QPS:.0f} qps",
+    ], title=f"Figure: 1.5x/yr growth vs a fixed TPUv4i deployment "
+             f"(batch {BATCH}, {SLO_MS:.0f} ms SLO)")
+    for entry in entries:
+        model = scaled_transformer(entry.years)
+        table.add_row([
+            int(entry.years),
+            f"H{model.hidden}xL{model.layers}",
+            f"{model.growth_factor:.2f}x",
+            entry.weight_mib,
+            entry.latency_ms,
+            f"{SLO_MS / entry.latency_ms:.1f}x",
+            entry.qps,
+            math.ceil(SERVICE_QPS / entry.qps),
+        ])
+    chips_start = math.ceil(SERVICE_QPS / entries[0].qps)
+    chips_end = math.ceil(SERVICE_QPS / entries[-1].qps)
+    footer = (f"SLO margin {SLO_MS / entries[0].latency_ms:.1f}x at design "
+              f"-> {SLO_MS / entries[-1].latency_ms:.1f}x at year 4; fixed "
+              f"5k-qps fleet {chips_start} -> {chips_end} chips "
+              f"({chips_end / chips_start:.1f}x). Provision for the "
+              f"end-of-life workload, not the launch one.")
+    return table.render() + "\n" + footer
+
+
+def test_fig_future_growth(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E20_fig_future_growth", text)
+    assert "1.5x/yr" in text

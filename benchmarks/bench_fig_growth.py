@@ -1,0 +1,35 @@
+"""E3 (paper figure, Lesson 5): DNN model size grows ~1.5x per year.
+
+Plots the paper's 1.5x/yr projection against published milestone models
+and reports the fitted growth rate (which exceeds the lesson's figure —
+the lesson is conservative).
+"""
+
+from repro.util.tables import Table, bar_chart
+from repro.workloads import GrowthModel, PUBLISHED_MODEL_SIZES
+from repro.workloads.growth import fitted_growth_rate
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure() -> str:
+    model = GrowthModel(base_year=2015, base_size=25.6)  # anchored at ResNet-50
+    table = Table(["model", "year", "params (M)", "1.5x/yr projection (M)"],
+                  title="Figure (L5): DNN growth vs the 1.5x/yr lesson")
+    for name, year, size in PUBLISHED_MODEL_SIZES:
+        table.add_row([name, year, size, model.size_at(year)])
+
+    chart = bar_chart(
+        [f"{name} ({year})" for name, year, _ in PUBLISHED_MODEL_SIZES],
+        [size for _, _, size in PUBLISHED_MODEL_SIZES],
+        title="published parameter counts (M)")
+    rate = fitted_growth_rate()
+    footer = (f"fitted annual growth of milestones: {rate:.2f}x/yr "
+              f"(paper lesson: 1.5x/yr; demand outgrew even the lesson)")
+    return "\n".join([table.render(), "", chart, "", footer])
+
+
+def test_fig_dnn_growth(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E3_fig_growth", text)
+    assert "1.5x/yr" in text

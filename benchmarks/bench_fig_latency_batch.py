@@ -1,0 +1,40 @@
+"""E6 (paper figure, Lesson 9): applications limit latency, not batch size.
+
+For each app: latency at growing batch sizes, the app's SLO line, and the
+largest batch the SLO admits. Throughput keeps rising with batch — the
+chip would happily take more — but the latency budget cuts it off first.
+"""
+
+from repro.serving import BatchPolicy
+from repro.util.tables import Table
+from repro.workloads import app_by_name
+
+from benchmarks.conftest import record, run_once
+
+APPS = ("mlp0", "cnn0", "rnn0", "bert0")
+BATCHES = (1, 4, 16, 64, 128, 256)
+
+
+def build_figure(point) -> str:
+    sections = []
+    for name in APPS:
+        spec = app_by_name(name)
+        table = Table(["batch", "latency ms", "chip qps", "meets SLO"],
+                      title=f"{name} (SLO {spec.slo_ms} ms)")
+        slo_batch = 0
+        for batch in BATCHES:
+            latency = point.latency_s(spec, batch)
+            ok = latency * 1e3 <= spec.slo_ms
+            if ok:
+                slo_batch = batch
+            table.add_row([batch, latency * 1e3,
+                           point.chip.cores * batch / latency, ok])
+        sections.append(table.render())
+        sections.append(f"-> SLO-limited batch for {name}: {slo_batch}\n")
+    return "\n".join(sections)
+
+
+def test_fig_latency_vs_batch(benchmark, v4i_point):
+    text = run_once(benchmark, lambda: build_figure(v4i_point))
+    record("E6_fig_latency_batch", text)
+    assert "SLO-limited batch" in text

@@ -1,0 +1,59 @@
+"""E21 (Lesson 6 applied): the evolving mix punishes fixed-function designs.
+
+A programmable DSA (TPUv4i: MXU + VPU + compiler) runs whatever the mix
+becomes. A hypothetical fixed-function accelerator frozen on the 2016 mix
+runs MLP/CNN/RNN natively but has no attention/GELU support, so
+transformers fall back to host CPUs at ~50x worse throughput.
+
+For each year's published mix, this bench computes the mix-weighted
+throughput of both designs. The fixed-function part decays exactly as
+fast as transformers rise — Lesson 6's case for programmability.
+"""
+
+from repro.util.tables import Table
+from repro.workloads import WORKLOAD_MIX_BY_YEAR, app_by_name
+
+from benchmarks.conftest import record, run_once
+
+# Representative app per family for throughput accounting.
+_FAMILY_APP = {"MLP": "mlp0", "CNN": "cnn0", "RNN": "rnn0",
+               "Transformer": "bert0"}
+_CPU_FALLBACK_PENALTY = 50.0
+
+
+def build_figure(point) -> str:
+    qps = {family: point.evaluate(app_by_name(app)).chip_qps
+           for family, app in _FAMILY_APP.items()}
+
+    table = Table([
+        "year", "transformer share", "programmable qps (mix)",
+        "fixed-function qps (mix)", "penalty",
+    ], title="Figure: mix-weighted throughput, programmable vs fixed-function")
+    first_ratio = None
+    last_ratio = None
+    for year in sorted(WORKLOAD_MIX_BY_YEAR):
+        mix = WORKLOAD_MIX_BY_YEAR[year]
+        # Harmonic (time-weighted) mean: each family gets its cycle share.
+        programmable = 1.0 / sum(share / qps[family]
+                                 for family, share in mix.items())
+        fixed = 1.0 / sum(
+            share / (qps[family] / (_CPU_FALLBACK_PENALTY
+                                    if family == "Transformer" else 1.0))
+            for family, share in mix.items())
+        ratio = programmable / fixed
+        first_ratio = first_ratio if first_ratio is not None else ratio
+        last_ratio = ratio
+        table.add_row([
+            year, f"{mix['Transformer']:.0%}", programmable, fixed,
+            f"{ratio:.1f}x",
+        ])
+    footer = (f"the programmability premium grows {first_ratio:.1f}x -> "
+              f"{last_ratio:.1f}x across the deployment window: the mix "
+              "you freeze for is not the mix you will serve")
+    return table.render() + "\n" + footer
+
+
+def test_fig_mix_fleet(benchmark, v4i_point):
+    text = run_once(benchmark, lambda: build_figure(v4i_point))
+    record("E21_fig_mix_fleet", text)
+    assert "programmability" in text

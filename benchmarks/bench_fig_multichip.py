@@ -1,0 +1,46 @@
+"""E16 (paper deployment discussion): pipeline scaling over the ICI ring.
+
+TPUv4i boards carry four ICI-linked chips for models that outgrow one
+chip (Lesson 5 guarantees they will). Pipelines bert1 and rnn1 — both
+CMEM-overflowing — across 1/2/4 chips. The shape to reproduce: throughput
+scales superlinearly while weights migrate into per-chip CMEM, and
+request latency stays roughly flat.
+"""
+
+from repro.core import PipelineDeployment
+from repro.util.tables import Table
+from repro.workloads import app_by_name
+
+from benchmarks.conftest import record, run_once
+
+APPS = ("bert1", "rnn1")
+RING_SIZES = (1, 2, 4)
+
+
+def build_figure() -> str:
+    deployment = PipelineDeployment()
+    table = Table([
+        "app", "chips", "latency ms", "qps", "speedup", "qps/chip",
+        "worst CMEM residency",
+    ], title="Figure: pipeline-parallel scaling on the TPUv4i ICI ring")
+    for name in APPS:
+        spec = app_by_name(name)
+        reports = deployment.scaling_study(spec.build, spec.default_batch,
+                                           RING_SIZES)
+        base = reports[0].throughput_qps
+        for report in reports:
+            table.add_row([
+                name, report.num_chips,
+                report.request_latency_s * 1e3,
+                report.throughput_qps,
+                f"{report.throughput_qps / base:.2f}x",
+                report.throughput_qps / report.num_chips,
+                f"{report.min_cmem_hit:.0%}",
+            ])
+    return table.render()
+
+
+def test_fig_multichip_scaling(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E16_fig_multichip", text)
+    assert "speedup" in text

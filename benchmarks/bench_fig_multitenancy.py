@@ -1,0 +1,47 @@
+"""E11 (paper discussion, Lesson 4): multi-tenancy support pays.
+
+Serves interleaved traffic from 1-4 co-resident models under three
+policies: ``swap_host`` (no provisioned co-residency: every switch hauls
+weights over PCIe), ``swap`` (all tenants HBM-resident; switches restage
+CMEM only), and ``partition`` (CMEM split up front, switches free). The
+ordering partition <= swap << swap_host is the lesson: the hardware must
+carry enough memory to keep every tenant hot.
+"""
+
+from repro.serving import MultiTenantSim, Tenant
+from repro.util.tables import Table
+from repro.workloads import RequestGenerator, app_by_name
+
+from benchmarks.conftest import record, run_once
+
+TENANT_SETS = (
+    ("cnn0",),
+    ("cnn0", "rnn0"),
+    ("cnn0", "rnn0", "bert0", "mlp1"),
+)
+
+
+def build_figure(point) -> str:
+    table = Table([
+        "tenants", "policy", "p99 ms", "mean ms", "qps", "swaps",
+        "swap time ms",
+    ], title="Figure: multi-tenant serving, swap vs CMEM partition")
+    for names in TENANT_SETS:
+        tenants = [Tenant(app_by_name(n), 30) for n in names]
+        sim = MultiTenantSim(point, tenants)
+        requests = RequestGenerator(11).multi_tenant(
+            list(names), [30.0] * len(names), duration_s=2.0)
+        for policy in ("swap_host", "swap", "partition"):
+            stats = sim.simulate(requests, policy)
+            table.add_row([
+                "+".join(names), policy, stats.p99_s * 1e3,
+                stats.mean_latency_s * 1e3, stats.throughput_qps,
+                stats.swap_count, stats.swap_seconds_total * 1e3,
+            ])
+    return table.render()
+
+
+def test_fig_multitenancy(benchmark, v4i_point):
+    text = run_once(benchmark, lambda: build_figure(v4i_point))
+    record("E11_fig_multitenancy", text)
+    assert "partition" in text

@@ -1,0 +1,46 @@
+"""E8 (paper figure): TPUv4i vs TPUv3 — performance and performance/Watt.
+
+Per app: chip-level throughput (all cores) and samples/joule on both
+chips. The paper's shape: a modest perf win (the 7nm chip is *smaller*
+and air-cooled) but a large perf/W win — TPUv4i's actual design target.
+"""
+
+import math
+
+from repro.util.tables import Table, bar_chart
+from repro.workloads import PRODUCTION_APPS
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure(v4i_point, v3_point) -> str:
+    table = Table([
+        "app", "v3 qps", "v4i qps", "perf ratio",
+        "v3 qps/W", "v4i qps/W", "perf/W ratio",
+    ], title="Figure: TPUv4i vs TPUv3, per production app (chip level)")
+    perf_ratios, ppw_ratios, labels = [], [], []
+    for spec in PRODUCTION_APPS:
+        v3 = v3_point.evaluate(spec)
+        v4i = v4i_point.evaluate(spec)
+        perf = v4i.chip_qps / v3.chip_qps
+        ppw = v4i.samples_per_joule / v3.samples_per_joule
+        perf_ratios.append(perf)
+        ppw_ratios.append(ppw)
+        labels.append(spec.name)
+        table.add_row([spec.name, v3.chip_qps, v4i.chip_qps, perf,
+                       v3.samples_per_joule, v4i.samples_per_joule, ppw])
+
+    def geomean(values):
+        return math.prod(values) ** (1 / len(values))
+
+    chart = bar_chart(labels, ppw_ratios, title="perf/W ratio (v4i / v3)")
+    footer = (f"geomean: perf {geomean(perf_ratios):.2f}x, "
+              f"perf/W {geomean(ppw_ratios):.2f}x "
+              "(paper shape: ~1.3x perf, >2x perf/W)")
+    return "\n".join([table.render(), "", chart, "", footer])
+
+
+def test_fig_v4i_vs_v3(benchmark, v4i_point, v3_point):
+    text = run_once(benchmark, lambda: build_figure(v4i_point, v3_point))
+    record("E8_fig_perf_per_watt", text)
+    assert "geomean" in text

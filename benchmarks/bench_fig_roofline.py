@@ -1,0 +1,43 @@
+"""E7 (paper figure): the eight apps on TPUv4i's rooflines.
+
+Two roofs — HBM-only and CMEM-blended (using each app's actual allocator
+hit fraction) — plus each app's measured TOPS from the simulator. Apps
+left of the HBM ridge climb when CMEM serves their weights; that vertical
+gap is the figure's argument for spending 128 MiB of die on SRAM.
+"""
+
+from repro.arch import TPUV4I
+from repro.roofline import chip_roofline, place_module
+from repro.util.tables import Table
+from repro.workloads import PRODUCTION_APPS
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure(point) -> str:
+    hbm_roof = chip_roofline(TPUV4I, "hbm")
+    table = Table([
+        "app", "ops:byte", "HBM-bound?", "roof TOPS (HBM)",
+        "roof TOPS (CMEM blend)", "measured TOPS",
+    ], title=f"Figure: TPUv4i roofline (ridge @ {hbm_roof.ridge_ops_per_byte:.0f} ops/byte)")
+    for spec in PRODUCTION_APPS:
+        module = spec.build(spec.default_batch)
+        compiled = point.compiled(spec, spec.default_batch)
+        placed = place_module(module, TPUV4I,
+                              cmem_hit_fraction=compiled.memory.cmem_hit_fraction)
+        measured = point.evaluate(spec).achieved_tops_chip
+        table.add_row([
+            spec.name,
+            placed.ops_per_byte,
+            placed.memory_bound_hbm,
+            placed.attainable_tops_hbm,
+            placed.attainable_tops_cmem,
+            measured,
+        ])
+    return table.render()
+
+
+def test_fig_roofline(benchmark, v4i_point):
+    text = run_once(benchmark, lambda: build_figure(v4i_point))
+    record("E7_fig_roofline", text)
+    assert "ops:byte" in text

@@ -1,0 +1,34 @@
+"""E5 (paper figure, Lesson 1): semiconductor technology advances unequally.
+
+Prints the improvement of logic density, SRAM density, wire speed, and MAC
+energy efficiency across 45nm -> 5nm, normalized to 45nm. The diverging
+curves are the lesson: compute got nearly free; wires and SRAM did not.
+"""
+
+from repro.tech import relative_improvement
+from repro.util.tables import Table
+
+from benchmarks.conftest import record, run_once
+
+
+def build_figure() -> str:
+    series = relative_improvement()
+    nodes = series[0].nodes
+    table = Table(["metric"] + [str(n) for n in nodes],
+                  title="Figure (L1): improvement vs 45nm, by metric")
+    for entry in series:
+        table.add_row([entry.metric] + [f"{v:.2f}x" for v in entry.values])
+
+    logic = series[0].final_improvement()
+    sram = series[1].final_improvement()
+    wire = series[2].final_improvement()
+    footer = (f"at 5nm: logic {logic:.1f}x, SRAM {sram:.1f}x, wire speed "
+              f"{wire:.2f}x -> logic outruns SRAM by "
+              f"{logic / sram:.1f}x and wires regress")
+    return table.render() + "\n" + footer
+
+
+def test_fig_unequal_scaling(benchmark):
+    text = run_once(benchmark, build_figure)
+    record("E5_fig_tech_scaling", text)
+    assert "logic" in text

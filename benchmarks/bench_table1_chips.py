@@ -1,0 +1,46 @@
+"""E1 (paper Table 1): key characteristics of the four TPU generations.
+
+Regenerates the chip-characteristics table from the library's configs and
+bottom-up models (peak TOPS from the MXU organization, TDP estimate from
+the power model), so every number in the table is *derived*, not typed in.
+"""
+
+from repro.arch import GENERATIONS, PowerModel
+from repro.util.units import GHZ, GIB, GIGA, MIB
+from repro.util.tables import Table
+
+from benchmarks.conftest import record, run_once
+
+
+def build_table() -> str:
+    table = Table([
+        "chip", "year", "process", "die mm2", "cores", "MXUs/core",
+        "clock GHz", "peak TOPS", "on-chip MiB", "offchip GiB",
+        "mem BW GB/s", "TDP W", "TDP est W", "cooling", "dtypes",
+    ], title="Table 1: key characteristics of the TPU generations")
+    for chip in GENERATIONS:
+        dtype = "int8" if chip.generation == 1 else "bf16"
+        table.add_row([
+            chip.name,
+            chip.year_deployed,
+            chip.process,
+            chip.die_mm2,
+            chip.cores,
+            chip.mxus_per_core,
+            chip.clock_hz / GHZ,
+            chip.peak_tops,
+            chip.on_chip_bytes / MIB,
+            chip.hbm_bytes / GIB,
+            chip.hbm_bw / GIGA,
+            chip.tdp_w,
+            PowerModel(chip).tdp_estimate_w(dtype),
+            chip.cooling,
+            "/".join(chip.dtypes),
+        ])
+    return table.render()
+
+
+def test_table1_chip_characteristics(benchmark):
+    text = run_once(benchmark, build_table)
+    record("E1_table1_chips", text)
+    assert "TPUv4i" in text

@@ -1,0 +1,41 @@
+"""E2 (paper Table 2): the eight production inference apps.
+
+Derives every column from the built models: parameter footprint,
+operational intensity, FLOPs per inference, whether the weights fit CMEM,
+and the latency SLO the serving experiments enforce.
+"""
+
+from repro.arch import TPUV4I
+from repro.util.tables import Table
+from repro.util.units import MIB
+from repro.workloads import PRODUCTION_APPS
+
+from benchmarks.conftest import record, run_once
+
+
+def build_table() -> str:
+    table = Table([
+        "app", "family", "nonlinearity", "weights MiB", "fits CMEM",
+        "GFLOP/inf", "ops:byte", "batch", "SLO ms",
+    ], title="Table 2: production inference application characteristics")
+    for spec in PRODUCTION_APPS:
+        module = spec.build(spec.default_batch)
+        weights_mib = module.total_weight_bytes() / MIB
+        table.add_row([
+            spec.name,
+            spec.category,
+            spec.nonlinearity,
+            weights_mib,
+            weights_mib <= TPUV4I.cmem_bytes / MIB,
+            module.total_flops() / spec.default_batch / 1e9,
+            module.operational_intensity(),
+            spec.default_batch,
+            spec.slo_ms,
+        ])
+    return table.render()
+
+
+def test_table2_production_apps(benchmark):
+    text = run_once(benchmark, build_table)
+    record("E2_table2_apps", text)
+    assert "bert1" in text

@@ -1,0 +1,40 @@
+"""E18 (Lesson 3 applied): sizing a serving fleet per generation.
+
+For a fixed production target — 50k qps of cnn0, 20k qps of bert0, both
+under their SLOs — size the fleet on each bf16 generation and price it.
+The chip that wins is the one that minimizes lifetime dollars per served
+qps, which is TPUv4i by a wide margin: the quantitative close of the
+perf/TCO argument.
+"""
+
+from repro.serving import plan_fleet
+from repro.util.tables import Table
+from repro.workloads import app_by_name
+
+from benchmarks.conftest import record, run_once
+
+TARGETS = (("cnn0", 50_000.0), ("bert0", 20_000.0))
+
+
+def build_table(points) -> str:
+    table = Table([
+        "app", "target qps", "chip", "SLO batch", "qps/chip", "chips",
+        "fleet kW", "fleet 3yr TCO $", "$ per k-qps",
+    ], title="Table: fleet sizing at fixed service targets")
+    for app_name, target in TARGETS:
+        spec = app_by_name(app_name)
+        for point in points:
+            plan = plan_fleet(point, spec, target)
+            table.add_row([
+                app_name, target, plan.chip, plan.slo_batch,
+                plan.per_chip_qps, plan.chips, plan.fleet_power_w / 1000.0,
+                plan.fleet_tco_usd, plan.cost_per_kqps_usd,
+            ])
+    return table.render()
+
+
+def test_table_fleet_sizing(benchmark, v2_point, v3_point, v4i_point):
+    text = run_once(benchmark,
+                    lambda: build_table((v2_point, v3_point, v4i_point)))
+    record("E18_table_fleet", text)
+    assert "chips" in text

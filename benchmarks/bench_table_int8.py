@@ -1,0 +1,52 @@
+"""E17 (Lesson 7 trade-off): what int8 actually buys — and costs.
+
+Compiles each production app both ways on TPUv4i: native bf16 (deploy
+as-is) and post-training int8 (quantize everything). Reports the speedup
+(memory-bound apps gain; compute-bound ones do not — the MXU rate is the
+same), the energy saving, and the quality cost from E14's numerics. The
+combination is the paper's argument for supporting *both* formats.
+"""
+
+from repro.arch import TPUV3, TPUV4I
+from repro.compiler import compile_model
+from repro.compiler.pipeline import retarget_dtype
+from repro.mlcompat import check_numerics_match
+from repro.sim import TensorCoreSim
+from repro.util.tables import Table
+from repro.workloads import PRODUCTION_APPS
+
+from benchmarks.conftest import record, run_once
+
+
+def build_table() -> str:
+    sim = TensorCoreSim(TPUV4I)
+    table = Table([
+        "app", "bf16 ms", "int8 ms", "speedup", "bf16 J/inf", "int8 J/inf",
+        "energy gain", "est. quality loss pp",
+    ], title="Table: int8 vs bf16 deployment on TPUv4i")
+    for index, spec in enumerate(PRODUCTION_APPS):
+        module = spec.build(spec.default_batch)
+        bf16 = sim.run(compile_model(module, TPUV4I).program)
+        quantized = retarget_dtype(module, "int8")
+        int8 = sim.run(compile_model(quantized, TPUV4I).program, dtype="int8")
+        quality = check_numerics_match(TPUV3, TPUV4I, "int8", seed=index)
+        table.add_row([
+            spec.name,
+            bf16.seconds * 1e3,
+            int8.seconds * 1e3,
+            f"{bf16.seconds / int8.seconds:.2f}x",
+            bf16.report.energy_j,
+            int8.report.energy_j,
+            f"{bf16.report.energy_j / int8.report.energy_j:.2f}x",
+            quality.est_quality_loss_pct,
+        ])
+    footer = ("int8 helps where weight traffic dominates and always saves "
+              "energy — but every row pays a calibration study; bf16 rows "
+              "deploy with training bits unchanged (Lesson 7 + 10).")
+    return table.render() + "\n" + footer
+
+
+def test_table_int8_tradeoff(benchmark):
+    text = run_once(benchmark, build_table)
+    record("E17_table_int8", text)
+    assert "int8" in text

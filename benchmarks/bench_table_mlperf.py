@@ -1,0 +1,53 @@
+"""E24 (public results): MLPerf-Inference-style submission table.
+
+TPUv4i's public performance record is its MLPerf Inference submissions.
+Regenerates a submission-shaped table for the three datacenter models
+(ResNet-50, SSD-class detection, BERT-large QA) on TPUv3 and TPUv4i:
+Offline throughput (big-batch, no latency bound) and Server throughput
+(largest batch meeting the scenario latency bound). Shape to reproduce:
+v4i edges v3 on throughput per chip while drawing a fraction of the
+power — consistent with E8 on the production apps.
+"""
+
+from repro.serving import Slo
+from repro.util.tables import Table
+from repro.workloads import MLPERF_MODELS
+from repro.workloads.models import WorkloadSpec
+
+from benchmarks.conftest import record, run_once
+
+
+def _spec_for(model) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=model.name, category="MLPerf", build=model.build,
+        slo_ms=model.scenario_latency_ms, default_batch=model.offline_batch,
+        nonlinearity="-", description="MLPerf-style model")
+
+
+def build_table(points) -> str:
+    table = Table([
+        "model", "chip", "offline qps", "server batch", "server qps",
+        "power W", "offline qps/W",
+    ], title="Table: MLPerf-Inference-style results (Offline and Server)")
+    for model in MLPERF_MODELS:
+        spec = _spec_for(model)
+        for point in points:
+            offline = point.evaluate(spec, batch=model.offline_batch)
+            server_batch = point.max_batch_under_slo(
+                spec, model.scenario_latency_ms / 1e3,
+                candidates=(1, 2, 4, 8, 16, 32))
+            server_qps = 0.0
+            if server_batch:
+                server_qps = point.evaluate(spec, batch=server_batch).chip_qps
+            table.add_row([
+                model.name, point.chip.name, offline.chip_qps,
+                server_batch or "-", server_qps, offline.chip_power_w,
+                offline.samples_per_joule,
+            ])
+    return table.render()
+
+
+def test_table_mlperf(benchmark, v3_point, v4i_point):
+    text = run_once(benchmark, lambda: build_table((v3_point, v4i_point)))
+    record("E24_table_mlperf", text)
+    assert "resnet50" in text

@@ -1,0 +1,47 @@
+"""E14 (paper Lessons 7 & 10): bf16 deploys as-is; int8 needs a study.
+
+Per app: SNR and estimated quality loss of the bf16 path (bit-exact with
+the trainer) and the calibrated int8 path on a representative layer-sized
+matmul. The bf16 column is what "backwards ML compatibility" buys:
+deploy-as-is, zero quality review.
+"""
+
+from repro.arch import TPUV3, TPUV4I
+from repro.mlcompat import check_numerics_match, deployment_readiness
+from repro.util.tables import Table
+from repro.workloads import PRODUCTION_APPS
+
+from benchmarks.conftest import record, run_once
+
+# Representative layer width per app family (drives the test matmul size).
+_SIZES = {"MLP": 512, "CNN": 256, "RNN": 512, "Transformer": 384}
+
+
+def build_table() -> str:
+    table = Table([
+        "app", "bf16 bit-exact", "bf16 quality loss %", "int8 SNR dB",
+        "int8 quality loss %", "int8 needs calibration",
+    ], title="Table: deployment numerics per app (trained on TPUv3)")
+    checks = []
+    for index, spec in enumerate(PRODUCTION_APPS):
+        size = _SIZES[spec.category]
+        bf16 = check_numerics_match(TPUV3, TPUV4I, "bf16", seed=index,
+                                    size=size)
+        int8 = check_numerics_match(TPUV3, TPUV4I, "int8", seed=index,
+                                    size=size)
+        checks.extend([bf16, int8])
+        table.add_row([
+            spec.name, bf16.bit_exact, bf16.est_quality_loss_pct,
+            int8.snr_db, int8.est_quality_loss_pct, int8.needs_calibration,
+        ])
+    summary = deployment_readiness(checks)
+    footer = (f"deploy as-is: {summary['deploy_as_is']}/{summary['models']} "
+              f"paths; worst estimated quality loss "
+              f"{summary['worst_quality_loss_pct']:.2f} pp (all on int8)")
+    return table.render() + "\n" + footer
+
+
+def test_table_numerics(benchmark):
+    text = run_once(benchmark, build_table)
+    record("E14_table_numerics", text)
+    assert "bf16" in text

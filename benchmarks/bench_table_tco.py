@@ -1,0 +1,66 @@
+"""E12 (paper Lesson 3): perf/TCO re-ranks the designs vs perf/CapEx.
+
+Evaluates a mixed production workload (geomean over compute- and
+memory-bound apps) on the three bf16 generations plus the design TPUv4i
+*didn't* ship — an 8-MXU, liquid-cooled 320 W variant. The hot chip wins
+the perf/CapEx ranking (more throughput from barely more silicon) but
+loses on perf/TCO once three years of power, cooling, and provisioned
+watts are paid — the decision Lesson 3 encodes.
+"""
+
+import math
+
+from repro.arch import TPUV4I
+from repro.core import DesignPoint
+from repro.tco import chip_tco, perf_per_tco
+from repro.tco.model import rank_designs
+from repro.util.tables import Table
+from repro.workloads import app_by_name
+
+from benchmarks.conftest import record, run_once
+
+# Mixed fleet: two compute-bound, two memory/serialization-bound apps.
+APPS = ("mlp0", "cnn0", "rnn1", "bert0")
+
+
+def hot_variant():
+    """8 MXUs, liquid-cooled, 320 W: faster, cheap to buy, dear to own."""
+    return TPUV4I.variant(
+        "v4-hot", mxus_per_core=8, tdp_w=320.0, idle_w=95.0,
+        cooling="liquid", isa_version=4)
+
+
+def build_table(points) -> str:
+    points = list(points) + [DesignPoint(hot_variant())]
+    table = Table([
+        "chip", "geomean qps", "busy W", "CapEx $", "OpEx $ (3yr)", "TCO $",
+        "OpEx share", "qps/CapEx$", "qps/TCO$",
+    ], title="Table: 3-year TCO over the mixed production fleet")
+    qps_by_chip = {}
+    tcos = []
+    for point in points:
+        evals = [point.evaluate(app_by_name(name)) for name in APPS]
+        qps = math.prod(e.chip_qps for e in evals) ** (1 / len(evals))
+        busy_w = sum(e.chip_power_w for e in evals) / len(evals)
+        tco = chip_tco(point.chip, busy_w)
+        qps_by_chip[point.chip.name] = qps
+        tcos.append(tco)
+        table.add_row([
+            point.chip.name, qps, busy_w, tco.capex_usd, tco.opex_usd,
+            tco.total_usd, f"{tco.opex_share:.0%}",
+            qps / tco.capex_usd, perf_per_tco(qps, tco),
+        ])
+    ranking = rank_designs(qps_by_chip, tcos)
+    footer = (f"rank by perf/CapEx: {' > '.join(ranking['by_capex'])}\n"
+              f"rank by perf/TCO:   {' > '.join(ranking['by_tco'])}")
+    return table.render() + "\n" + footer
+
+
+def test_table_tco(benchmark, v2_point, v3_point, v4i_point):
+    text = run_once(benchmark,
+                    lambda: build_table((v2_point, v3_point, v4i_point)))
+    record("E12_table_tco", text)
+    lines = text.splitlines()
+    capex_rank = lines[-2].split(":")[1]
+    tco_rank = lines[-1].split(":")[1]
+    assert capex_rank.strip() != tco_rank.strip(), "Lesson 3 re-rank missing"

@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures and the artifact recorder.
+
+Every benchmark regenerates one table/figure of the paper. The rendered
+text goes to stdout *and* to ``benchmarks/artifacts/<experiment>.txt`` so
+EXPERIMENTS.md can quote the measured output verbatim.
+
+DesignPoints are session-scoped: compile/simulate results are memoized
+inside them, so expensive workloads are evaluated once across the suite.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.arch import TPUV1, TPUV2, TPUV3, TPUV4I
+from repro.core import DesignPoint
+
+ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
+
+
+def record(experiment: str, text: str) -> str:
+    """Print and persist one experiment's rendered output."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / f"{experiment}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {experiment} ===\n{text}\n")
+    return text
+
+
+@pytest.fixture(scope="session")
+def v4i_point() -> DesignPoint:
+    return DesignPoint(TPUV4I)
+
+
+@pytest.fixture(scope="session")
+def v3_point() -> DesignPoint:
+    return DesignPoint(TPUV3)
+
+
+@pytest.fixture(scope="session")
+def v2_point() -> DesignPoint:
+    return DesignPoint(TPUV2)
+
+
+def run_once(benchmark, func):
+    """Run a bench body exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

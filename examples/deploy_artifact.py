@@ -1,0 +1,56 @@
+"""Ahead-of-time deployment: compile, ship an artifact, serve requests.
+
+The production flow in miniature:
+
+1. compile bert0 for TPUv4i and save the artifact (VLIW binary + JSON
+   metadata) to disk;
+2. a "serving host" loads it, checks the generation gate (a TPUv3 host
+   must refuse it — Lesson 2 applies to files too);
+3. an :class:`InferenceServer` answers requests with real output tensors
+   *and* simulated latency/energy per batch.
+
+Run:  python examples/deploy_artifact.py
+"""
+
+import tempfile
+import pathlib
+
+import numpy as np
+
+from repro import TPUV3, TPUV4I, compile_model
+from repro.runtime import InferenceServer, load_artifact, save_artifact
+from repro.workloads import app_by_name
+
+
+def main():
+    spec = app_by_name("bert0")
+    module = spec.build(batch=2)
+    compiled = compile_model(module, TPUV4I)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = pathlib.Path(tmp) / "bert0.tpu"
+        save_artifact(compiled, path)
+        size_kib = path.stat().st_size / 1024
+        print(f"saved artifact: {path.name} ({size_kib:.1f} KiB)")
+
+        artifact = load_artifact(path)
+        print(f"loaded: model={artifact.metadata['model']} "
+              f"compiler={artifact.metadata['compiler']} "
+              f"weights={int(artifact.metadata['weight_bytes']) / 2**20:.0f} MiB")
+        print(f"  runs on TPUv4i? {artifact.runs_on(TPUV4I)}")
+        print(f"  runs on TPUv3?  {artifact.runs_on(TPUV3)} "
+              "(generation gate: recompile, don't copy)")
+
+    server = InferenceServer(module, TPUV4I)
+    print(f"\nserver: {server.describe()}")
+    ids = np.arange(2 * 128).reshape(2, 128) % 30522
+    result = server.infer(inputs={"token.ids": ids})
+    print(f"request served: output {result.output.shape}, "
+          f"{result.latency_ms:.3f} ms, {result.energy_j * 1e3:.2f} mJ")
+    again = server.infer(inputs={"token.ids": ids})
+    print(f"bit-stable answers: {np.array_equal(result.output, again.output)} "
+          "(Lesson 10 at the serving API)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Serving under an SLO: Lesson 9 ("apps limit latency, not batch size").
+
+Serves Poisson traffic for BERT0 through a dynamic batcher at several load
+levels and batching configurations, printing the latency/throughput
+trade-off and the largest batch the SLO admits.
+
+Run:  python examples/serving_latency.py
+"""
+
+from repro import BatchPolicy, DesignPoint, ServingSimulator, Slo, TPUV4I, app_by_name
+from repro.workloads import RequestGenerator
+
+
+def main():
+    spec = app_by_name("bert0")
+    point = DesignPoint(TPUV4I)
+    slo = Slo(limit_s=spec.slo_ms / 1e3, pct=99)
+    print(f"app: {spec.name} ({spec.description}); SLO p99 <= {spec.slo_ms} ms\n")
+
+    print("-- compute-only latency by batch (no queueing) --")
+    policy = BatchPolicy(max_batch=64, max_wait_s=0.002)
+    server = ServingSimulator(point, spec, policy, slo)
+    for batch in BatchPolicy.batch_steps(64):
+        latency_ms = server.batch_latency_s(batch) * 1e3
+        marker = "OK " if latency_ms <= spec.slo_ms else "SLO!"
+        print(f"  batch {batch:>3}: {latency_ms:7.2f} ms  {marker}")
+    print(f"  -> largest SLO-feasible batch: {server.max_slo_batch()}\n")
+
+    print("-- served traffic at rising load --")
+    generator = RequestGenerator(seed=7)
+    for rate in (100, 500, 1000, 2000):
+        requests = generator.poisson(spec.name, rate_qps=rate, duration_s=3.0)
+        stats = server.simulate(requests)
+        print(f"  offered {rate:>5} qps: p99 {stats.p99_s * 1e3:7.2f} ms, "
+              f"mean batch {stats.mean_batch:5.1f}, "
+              f"violations {stats.slo_violation_fraction:6.1%}")
+
+    print("\n-- batching knobs at fixed load (1000 qps) --")
+    requests = generator.poisson(spec.name, rate_qps=1000, duration_s=3.0)
+    for max_batch, max_wait_ms in ((1, 0.0), (8, 1.0), (32, 2.0), (64, 8.0)):
+        policy = BatchPolicy(max_batch=max_batch, max_wait_s=max_wait_ms / 1e3)
+        stats = ServingSimulator(point, spec, policy, slo).simulate(requests)
+        print(f"  max_batch {max_batch:>3}, wait {max_wait_ms:4.1f} ms: "
+              f"p99 {stats.p99_s * 1e3:7.2f} ms, "
+              f"throughput {stats.throughput_qps:7.0f} qps, "
+              f"violations {stats.slo_violation_fraction:6.1%}")
+
+    print("\nLesson 9: throughput keeps rising with batch, but the latency "
+          "budget cuts the batch off first.")
+
+
+if __name__ == "__main__":
+    main()

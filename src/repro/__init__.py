@@ -1,0 +1,78 @@
+"""repro: a reproduction of "Ten Lessons From Three Generations Shaped
+Google's TPUv4i" (Jouppi et al., ISCA 2021).
+
+The library models the TPUv1/v2/v3/v4i family as a cycle-approximate
+simulator stack — chips, VLIW ISA, XLA-like compiler, serving and TCO
+models — and regenerates the paper's evaluation around its ten lessons.
+
+Quick start::
+
+    from repro import DesignPoint, TPUV4I, app_by_name
+
+    point = DesignPoint(TPUV4I)
+    bert = app_by_name("bert0")
+    evaluation = point.evaluate(bert)
+    print(evaluation.latency_s, evaluation.chip_qps, evaluation.tops_per_watt)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.arch import (
+    ChipConfig,
+    GENERATIONS,
+    TPUV1,
+    TPUV2,
+    TPUV3,
+    TPUV4I,
+    chip_by_name,
+)
+from repro.compiler import (
+    CompiledModel,
+    CompilerVersion,
+    LATEST,
+    RELEASES,
+    compile_model,
+    migrate_model,
+)
+from repro.core import DesignPoint, Evaluation
+from repro.graph import GraphBuilder, HloModule, Shape
+from repro.roofline import chip_roofline, place_module
+from repro.serving import BatchPolicy, ServingSimulator, Slo
+from repro.sim import TensorCoreSim
+from repro.tco import chip_tco, perf_per_tco
+from repro.workloads import PRODUCTION_APPS, app_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ChipConfig",
+    "GENERATIONS",
+    "TPUV1",
+    "TPUV2",
+    "TPUV3",
+    "TPUV4I",
+    "chip_by_name",
+    "CompiledModel",
+    "CompilerVersion",
+    "LATEST",
+    "RELEASES",
+    "compile_model",
+    "migrate_model",
+    "DesignPoint",
+    "Evaluation",
+    "GraphBuilder",
+    "HloModule",
+    "Shape",
+    "chip_roofline",
+    "place_module",
+    "BatchPolicy",
+    "ServingSimulator",
+    "Slo",
+    "TensorCoreSim",
+    "chip_tco",
+    "perf_per_tco",
+    "PRODUCTION_APPS",
+    "app_by_name",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Hardware component models for the TPU generations.
+
+This package is the "silicon" substrate: chip configurations for the three
+training/inference generations the paper draws lessons from (TPUv1, TPUv2,
+TPUv3) plus the design the lessons produced (TPUv4i), and timing/power models
+for their major components — systolic MXUs, the vector unit, the on-chip
+memory hierarchy (VMEM/CMEM), HBM, DMA engines, inter-chip links, and the
+power/cooling envelope.
+"""
+
+from repro.arch.chip import (
+    ChipConfig,
+    TPUV1,
+    TPUV2,
+    TPUV3,
+    TPUV4I,
+    GENERATIONS,
+    chip_by_name,
+)
+from repro.arch.mxu import MxuModel, MatmulTiming
+from repro.arch.vpu import VpuModel
+from repro.arch.memory import MemoryLevel, MemorySystem
+from repro.arch.dma import DmaEngine, DmaTransfer
+from repro.arch.ici import IciLink, IciNetwork
+from repro.arch.power import PowerModel, PowerBreakdown
+from repro.arch.cooling import CoolingSolution, AIR_COOLING, LIQUID_COOLING, junction_temp_c
+from repro.arch.thermal import ThermalModel, ThermalSample
+from repro.arch.config_io import chip_from_json, chip_to_json, load_chip, save_chip
+
+__all__ = [
+    "ChipConfig",
+    "TPUV1",
+    "TPUV2",
+    "TPUV3",
+    "TPUV4I",
+    "GENERATIONS",
+    "chip_by_name",
+    "MxuModel",
+    "MatmulTiming",
+    "VpuModel",
+    "MemoryLevel",
+    "MemorySystem",
+    "DmaEngine",
+    "DmaTransfer",
+    "IciLink",
+    "IciNetwork",
+    "PowerModel",
+    "PowerBreakdown",
+    "CoolingSolution",
+    "AIR_COOLING",
+    "LIQUID_COOLING",
+    "junction_temp_c",
+    "ThermalModel",
+    "ThermalSample",
+    "chip_from_json",
+    "chip_to_json",
+    "load_chip",
+    "save_chip",
+]

@@ -1,0 +1,71 @@
+"""Chip configuration serialization: define custom chips in JSON.
+
+Design-space exploration beyond the built-in grid wants chips defined in
+files (reviewable, diffable, shareable). A chip JSON is simply the
+:class:`~repro.arch.chip.ChipConfig` fields; everything the library does
+— compile, simulate, TCO, thermal — works on a loaded chip unchanged.
+
+Example::
+
+    {
+      "name": "v4-lite", "generation": 4, "year_deployed": 2021,
+      "process": "7nm", "die_mm2": 250, "cores": 1, "mxus_per_core": 2,
+      "mxu_dim": 128, "clock_hz": 1.05e9, "vpu_lanes": 128,
+      "vpu_sublanes": 8, "vmem_bytes": 16777216, "cmem_bytes": 67108864,
+      "hbm_bytes": 8589934592, "hbm_bw": 4.0e11, "hbm_latency_cycles": 260,
+      "cmem_bw": 2.8e12, "cmem_latency_cycles": 20, "ici_links": 2,
+      "ici_link_bw": 1.0e11, "tdp_w": 110, "idle_w": 40, "cooling": "air",
+      "dtypes": ["bf16", "int8"], "isa_version": 4
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Union
+
+from repro.arch.chip import ChipConfig
+from repro.tech.node import node_by_name
+
+
+def chip_to_json(chip: ChipConfig, indent: int = 2) -> str:
+    """Serialize a chip config to JSON text."""
+    payload = dataclasses.asdict(chip)
+    payload["dtypes"] = list(payload["dtypes"])
+    return json.dumps(payload, indent=indent)
+
+
+def chip_from_json(text: str) -> ChipConfig:
+    """Parse a chip config; validates fields via the dataclass and the
+    process-node registry."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"invalid chip JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("chip JSON must be an object")
+    field_names = {f.name for f in dataclasses.fields(ChipConfig)}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise ValueError(f"unknown chip fields: {sorted(unknown)}")
+    missing = field_names - set(payload)
+    if missing:
+        raise ValueError(f"missing chip fields: {sorted(missing)}")
+    payload["dtypes"] = tuple(payload["dtypes"])
+    chip = ChipConfig(**payload)
+    node_by_name(chip.process)  # must be a known process node
+    return chip
+
+
+def save_chip(chip: ChipConfig, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Write a chip config to a JSON file."""
+    out = pathlib.Path(path)
+    out.write_text(chip_to_json(chip) + "\n")
+    return out
+
+
+def load_chip(path: Union[str, pathlib.Path]) -> ChipConfig:
+    """Read a chip config from a JSON file."""
+    return chip_from_json(pathlib.Path(path).read_text())

@@ -1,0 +1,204 @@
+"""Command-line interface: quick looks at chips, apps, and evaluations.
+
+Examples::
+
+    python -m repro chips
+    python -m repro apps
+    python -m repro evaluate --app bert0 --chip TPUv4i --batch 8
+    python -m repro compare --app cnn0
+    python -m repro migrate --app cnn0 --source TPUv3 --target TPUv4i
+
+The CLI is a thin veneer over the public API; anything it prints can be
+reproduced programmatically with a few lines of `repro` calls.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.arch import GENERATIONS, chip_by_name
+from repro.arch.config_io import load_chip
+from repro.compiler import migrate_model
+from repro.core import DesignPoint
+from repro.tco import chip_tco, perf_per_tco
+from repro.util.tables import Table
+from repro.util.units import GHZ, GIB, GIGA, MIB
+from repro.workloads import PRODUCTION_APPS, app_by_name
+
+
+def _cmd_chips(_: argparse.Namespace) -> int:
+    table = Table(["chip", "year", "process", "peak TOPS", "on-chip MiB",
+                   "HBM GiB", "HBM GB/s", "TDP W", "cooling"])
+    for chip in GENERATIONS:
+        table.add_row([
+            chip.name, chip.year_deployed, chip.process, chip.peak_tops,
+            chip.on_chip_bytes / MIB, chip.hbm_bytes / GIB,
+            chip.hbm_bw / GIGA, chip.tdp_w, chip.cooling,
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_apps(_: argparse.Namespace) -> int:
+    table = Table(["app", "family", "weights MiB", "ops:byte", "batch",
+                   "SLO ms", "description"])
+    for spec in PRODUCTION_APPS:
+        table.add_row([
+            spec.name, spec.category, spec.weight_mib(),
+            spec.ops_per_byte(), spec.default_batch, spec.slo_ms,
+            spec.description,
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    spec = app_by_name(args.app)
+    if args.chip_file:
+        chip = load_chip(args.chip_file)
+    else:
+        chip = chip_by_name(args.chip)
+    point = DesignPoint(chip)
+    evaluation = point.evaluate(spec, batch=args.batch)
+    tco = chip_tco(chip, evaluation.chip_power_w)
+    print(f"{spec.name} on {chip.name} (batch {evaluation.batch}):")
+    print(f"  latency:   {evaluation.latency_s * 1e3:.3f} ms")
+    print(f"  chip qps:  {evaluation.chip_qps:.0f}")
+    print(f"  power:     {evaluation.chip_power_w:.1f} W")
+    print(f"  TOPS:      {evaluation.achieved_tops_chip:.1f} "
+          f"({evaluation.achieved_tops_chip / chip.peak_tops:.0%} of peak)")
+    print(f"  perf/W:    {evaluation.samples_per_joule:.1f} qps/W")
+    print(f"  3-yr TCO:  ${tco.total_usd:,.0f} "
+          f"({perf_per_tco(evaluation.chip_qps, tco):.2f} qps per TCO $)")
+    print(f"  CMEM hit:  {evaluation.cmem_hit_fraction:.0%} of weight bytes")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = app_by_name(args.app)
+    table = Table(["chip", "latency ms", "chip qps", "power W", "qps/W",
+                   "qps/TCO$"],
+                  title=f"{spec.name} across generations (batch "
+                        f"{args.batch or spec.default_batch})")
+    for chip in GENERATIONS:
+        if not chip.supports_dtype("bf16"):
+            continue
+        evaluation = DesignPoint(chip).evaluate(spec, batch=args.batch)
+        tco = chip_tco(chip, evaluation.chip_power_w)
+        table.add_row([
+            chip.name, evaluation.latency_s * 1e3, evaluation.chip_qps,
+            evaluation.chip_power_w, evaluation.samples_per_joule,
+            perf_per_tco(evaluation.chip_qps, tco),
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    spec = app_by_name(args.app)
+    module = spec.build(1)
+    report = migrate_model(module, chip_by_name(args.source),
+                           chip_by_name(args.target))
+    print(f"{spec.name}: {report.source_chip} -> {report.target_chip}")
+    print(f"  binary portable: {report.binary_portable}")
+    print(f"  recompiled:      {report.recompiled}")
+    print(f"  dtype retarget:  {report.retargeted_dtype or 'none'}")
+    print(f"  {report.notes}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.compiler import profile_module
+    from repro.sim import TensorCoreSim
+    from repro.compiler import compile_model
+
+    spec = app_by_name(args.app)
+    chip = chip_by_name(args.chip)
+    module = spec.build(args.batch or spec.default_batch)
+    profile = profile_module(module, chip)
+    print(profile.render(args.top))
+    simulated = TensorCoreSim(chip).run(compile_model(module, chip).program)
+    overlap = simulated.cycles / max(1, profile.total_cycles)
+    print(f"  simulated latency {simulated.seconds * 1e3:.3f} ms "
+          f"({simulated.cycles:,} cyc); overlap hides "
+          f"{1 - overlap:.0%} of unoverlapped cost")
+    return 0
+
+
+def _cmd_dump(args: argparse.Namespace) -> int:
+    spec = app_by_name(args.app)
+    module = spec.build(args.batch or spec.default_batch)
+    if args.format == "hlo":
+        from repro.graph import module_to_text
+
+        print(module_to_text(module), end="")
+        return 0
+    # VLIW assembly of the compiled program.
+    from repro.compiler import compile_model
+    from repro.isa import disassemble
+
+    chip = chip_by_name(args.chip)
+    compiled = compile_model(module, chip)
+    print(disassemble(compiled.program), end="")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TPUv4i reproduction: chips, apps, and evaluations.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("chips", help="list the four TPU generations"
+                   ).set_defaults(func=_cmd_chips)
+    sub.add_parser("apps", help="list the eight production apps"
+                   ).set_defaults(func=_cmd_apps)
+
+    evaluate = sub.add_parser("evaluate", help="compile+simulate one app")
+    evaluate.add_argument("--app", required=True)
+    evaluate.add_argument("--chip", default="TPUv4i")
+    evaluate.add_argument("--chip-file", default=None,
+                          help="JSON chip config (overrides --chip)")
+    evaluate.add_argument("--batch", type=int, default=None)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    compare = sub.add_parser("compare", help="one app across generations")
+    compare.add_argument("--app", required=True)
+    compare.add_argument("--batch", type=int, default=None)
+    compare.set_defaults(func=_cmd_compare)
+
+    profile = sub.add_parser("profile", help="per-operator cost attribution")
+    profile.add_argument("--app", required=True)
+    profile.add_argument("--chip", default="TPUv4i")
+    profile.add_argument("--batch", type=int, default=None)
+    profile.add_argument("--top", type=int, default=10)
+    profile.set_defaults(func=_cmd_profile)
+
+    dump = sub.add_parser("dump", help="print a model as HLO text or VLIW asm")
+    dump.add_argument("--app", required=True)
+    dump.add_argument("--format", choices=("hlo", "asm"), default="hlo")
+    dump.add_argument("--chip", default="TPUv4i")
+    dump.add_argument("--batch", type=int, default=None)
+    dump.set_defaults(func=_cmd_dump)
+
+    migrate = sub.add_parser("migrate", help="move a model between chips")
+    migrate.add_argument("--app", required=True)
+    migrate.add_argument("--source", default="TPUv3")
+    migrate.add_argument("--target", default="TPUv4i")
+    migrate.set_defaults(func=_cmd_migrate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

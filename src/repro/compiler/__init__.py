@@ -1,0 +1,59 @@
+"""XLA-like compiler: HLO modules -> scheduled VLIW programs.
+
+The pipeline mirrors the passes that mattered in the paper's story:
+
+1. **expansion** — composites (softmax, layernorm) become primitives;
+2. **fusion** — elementwise chains fuse with their producers, eliminating
+   memory round-trips (the single biggest compiler win);
+3. **allocation** — weights are placed in CMEM when they fit (TPUv4i's
+   headline feature) and HBM otherwise; oversized activations spill;
+4. **tiling + lowering** — matmuls/convs tile to the MXU and VMEM, every
+   HLO becomes DMA/MXM/vector instruction sequences;
+5. **scheduling** — instructions pack into VLIW bundles, with DMA prefetch
+   hoisted across compute at higher optimization levels.
+
+``versions`` models fifteen months of compiler releases as growing feature
+sets (the Lesson 2 "performance arrives by software" figure), and
+``compat`` demonstrates the compatibility contract: binaries never cross
+generations, HLO always does.
+"""
+
+from repro.compiler.expansion import expand_composites
+from repro.compiler.fusion import FusionPlan, plan_fusion
+from repro.compiler.allocator import MemoryPlan, plan_memory
+from repro.compiler.tiling import TileShape, plan_matmul_tiles
+from repro.compiler.lowering import LoweredOp, lower_module
+from repro.compiler.scheduler import schedule
+from repro.compiler.pipeline import CompiledModel, compile_model
+from repro.compiler.profiler import ModuleProfile, OpProfile, profile_module
+from repro.compiler.versions import CompilerVersion, RELEASES, release_by_name, LATEST
+from repro.compiler.compat import (
+    CompatReport,
+    binary_runs_on,
+    migrate_model,
+)
+
+__all__ = [
+    "expand_composites",
+    "FusionPlan",
+    "plan_fusion",
+    "MemoryPlan",
+    "plan_memory",
+    "TileShape",
+    "plan_matmul_tiles",
+    "LoweredOp",
+    "lower_module",
+    "schedule",
+    "CompiledModel",
+    "compile_model",
+    "ModuleProfile",
+    "OpProfile",
+    "profile_module",
+    "CompilerVersion",
+    "RELEASES",
+    "release_by_name",
+    "LATEST",
+    "CompatReport",
+    "binary_runs_on",
+    "migrate_model",
+]

@@ -1,0 +1,128 @@
+"""The end-to-end compile pipeline and its result object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.chip import ChipConfig
+from repro.compiler.allocator import MemoryPlan, plan_memory
+from repro.compiler.expansion import expand_composites
+from repro.compiler.fusion import FusionPlan, plan_fusion
+from repro.compiler.lowering import lower_module
+from repro.compiler.scheduler import schedule
+from repro.compiler.versions import CompilerVersion, LATEST
+from repro.graph.hlo import HloInstruction, HloModule
+from repro.isa.program import Program
+
+
+class UnsupportedDtypeError(Exception):
+    """The chip cannot execute the module's arithmetic (e.g. bf16 on TPUv1)."""
+
+
+@dataclass
+class CompiledModel:
+    """Everything the compiler produced for one (module, chip, version).
+
+    Attributes:
+        program: the scheduled VLIW program the simulator runs.
+        module: the expanded (composite-free) module actually compiled.
+        source: the module as the user built it.
+        fusion / memory: the pass results, for inspection and tests.
+        chip / version: the compile target.
+    """
+
+    program: Program
+    module: HloModule
+    source: HloModule
+    fusion: FusionPlan
+    memory: MemoryPlan
+    chip: ChipConfig
+    version: CompilerVersion
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.module.total_weight_bytes()
+
+    @property
+    def cmem_resident_bytes(self) -> int:
+        return self.memory.cmem_weight_bytes
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "model": self.source.name,
+            "chip": self.chip.name,
+            "compiler": self.version.name,
+            "bundles": len(self.program),
+            "fused_away": self.fusion.fused_op_count(),
+            "weights_in_cmem": self.memory.cmem_hit_fraction,
+        }
+
+
+_ARITHMETIC_KINDS = ("unary", "binary", "matmul", "conv", "reduce", "composite")
+
+
+def _check_dtypes(module: HloModule, chip: ChipConfig) -> None:
+    # Only arithmetic ops need datapath support; index tensors (int32 ids)
+    # and pure data movement are dtype-agnostic.
+    used = {inst.shape.dtype_name for inst in module.instructions
+            if inst.kind in _ARITHMETIC_KINDS}
+    unsupported = sorted(d for d in used if not chip.supports_dtype(d))
+    if unsupported:
+        raise UnsupportedDtypeError(
+            f"{chip.name} does not support {unsupported}; supported: "
+            f"{sorted(chip.dtypes)}. Retarget the model (see "
+            f"retarget_dtype) or pick a chip with the needed formats."
+        )
+
+
+def retarget_dtype(module: HloModule, dtype_name: str) -> HloModule:
+    """Rebuild a module with every tensor in ``dtype_name``.
+
+    This is the "quantize everything" deployment move TPUv1 required —
+    numerically lossy (quantify with ``repro.numerics``), but it makes the
+    graph executable on an int8-only chip.
+    """
+    out = HloModule(f"{module.name}.{dtype_name}")
+    mapping: Dict[int, HloInstruction] = {}
+    for inst in module.instructions:
+        operands = tuple(mapping[o.uid] for o in inst.operands)
+        attrs = {k: v for k, v in inst.attrs}
+        # Only arithmetic (float) tensors retarget; index tensors keep int32.
+        if inst.shape.dtype.is_float:
+            shape = inst.shape.with_dtype(dtype_name)
+        else:
+            shape = inst.shape
+        mapping[inst.uid] = out.add(inst.opcode, shape, operands,
+                                    name=inst.name, **attrs)
+    out.set_root(mapping[module.root.uid])
+    return out
+
+
+def compile_model(module: HloModule, chip: ChipConfig, *,
+                  version: CompilerVersion = LATEST,
+                  cmem_budget_bytes: Optional[int] = None) -> CompiledModel:
+    """Compile an HLO module for a chip with a given compiler release.
+
+    This is the library's central entry point: every benchmark, example and
+    serving simulation goes through here. ``cmem_budget_bytes`` restricts
+    the weight allocator (capacity sweeps, multi-tenant partitions).
+    """
+    module.validate()
+    _check_dtypes(module, chip)
+    expanded = expand_composites(module)
+    fusion = plan_fusion(expanded, enabled=version.has("fusion"))
+    memory = plan_memory(expanded, chip, cmem_budget_bytes=cmem_budget_bytes,
+                         use_cmem=version.has("cmem_alloc"))
+    lowered = lower_module(expanded, fusion, memory, chip, version)
+    program = schedule(lowered, module.name, chip.generation, version)
+    program.metadata["weight_bytes"] = expanded.total_weight_bytes()
+    return CompiledModel(
+        program=program,
+        module=expanded,
+        source=module,
+        fusion=fusion,
+        memory=memory,
+        chip=chip,
+        version=version,
+    )

@@ -1,0 +1,80 @@
+"""VLIW bundle scheduling.
+
+Packs the lowered instruction stream into issue bundles for the target
+generation. Program order is preserved (the TensorCore issues in order);
+the scheduler's freedom is *density*: with the ``dual_issue`` compiler
+feature it fills every slot class a bundle offers, so a DMA, a sync, a
+matmul and a vector op can issue together; without it each instruction
+gets its own bundle (the bring-up compiler's behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.compiler.lowering import LoweredOp
+from repro.compiler.versions import CompilerVersion
+from repro.isa.instructions import (
+    Bundle,
+    Instruction,
+    Opcode,
+    SlotClass,
+    slot_layout_for_generation,
+)
+from repro.isa.program import Program
+
+
+def _flush(bundles: List[Bundle], pending: List[Instruction]) -> None:
+    if pending:
+        bundles.append(Bundle(tuple(pending)))
+        pending.clear()
+
+
+def _pack(instructions: Iterable[Instruction], generation: int,
+          dense: bool) -> List[Bundle]:
+    layout = slot_layout_for_generation(generation)
+    bundles: List[Bundle] = []
+    pending: List[Instruction] = []
+    usage: Dict[SlotClass, int] = {}
+
+    for inst in instructions:
+        capacity = layout.get(inst.slot, 0)
+        if capacity == 0:
+            raise ValueError(
+                f"generation {generation} has no {inst.slot.value} slot for "
+                f"{inst.opcode.mnemonic}")
+        if not dense:
+            _flush(bundles, pending)
+            usage = {}
+        if usage.get(inst.slot, 0) >= capacity:
+            _flush(bundles, pending)
+            usage = {}
+        pending.append(inst)
+        usage[inst.slot] = usage.get(inst.slot, 0) + 1
+        if not dense:
+            _flush(bundles, pending)
+            usage = {}
+    _flush(bundles, pending)
+    return bundles
+
+
+def schedule(lowered: List[LoweredOp], name: str, generation: int,
+             version: CompilerVersion) -> Program:
+    """Build the final program from lowered ops.
+
+    The emission order interleaves each op's prologue DMAs ahead of its
+    body (lowering already hoisted prefetchable DMAs into prologues), and
+    appends a HALT so the simulator knows the stream ended.
+    """
+    stream: List[Instruction] = []
+    for op in lowered:
+        stream.extend(op.prologue)
+        stream.extend(op.body)
+        stream.extend(op.epilogue)
+    stream.append(Instruction(Opcode.HALT))
+
+    program = Program(name=name, generation=generation)
+    program.extend(_pack(stream, generation, dense=version.has("dual_issue")))
+    program.metadata["compiler_version"] = version.name
+    program.metadata["lowered_ops"] = len(lowered)
+    return program

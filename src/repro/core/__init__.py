@@ -1,0 +1,38 @@
+"""The TPUv4i design point and the exploration that produced it.
+
+``DesignPoint`` is the library's top-level convenience API: one object
+tying a chip config and a compiler release together, with cached
+compile+simulate evaluation of workloads. ``dse`` re-derives the TPUv4i
+configuration from the ten lessons: sweep MXU count, CMEM capacity, and
+clock under the air-cooling TDP ceiling, and watch the paper's choice
+(one big core, 4 MXUs, 128 MiB CMEM) sit on the Pareto frontier.
+"""
+
+from repro.core.design_point import DesignPoint, Evaluation
+from repro.core.dse import (
+    DesignCandidate,
+    cmem_sweep,
+    enumerate_candidates,
+    evaluate_candidate,
+    pareto_frontier,
+)
+from repro.core.multichip import (
+    MultiChipReport,
+    PipelineDeployment,
+    StageReport,
+    partition_module,
+)
+
+__all__ = [
+    "DesignPoint",
+    "Evaluation",
+    "DesignCandidate",
+    "cmem_sweep",
+    "enumerate_candidates",
+    "evaluate_candidate",
+    "pareto_frontier",
+    "MultiChipReport",
+    "PipelineDeployment",
+    "StageReport",
+    "partition_module",
+]

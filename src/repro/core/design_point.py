@@ -1,0 +1,144 @@
+"""DesignPoint: chip + compiler, with cached workload evaluation.
+
+Everything above the compiler (serving, TCO, DSE, benchmarks) evaluates
+workloads through this class so that compile/simulate results are computed
+once per (model, batch, CMEM budget) and power is accounted at *chip*
+scope: multi-core chips (TPUv2/v3) serve one request stream per core, so
+chip throughput is ``cores / latency`` and dynamic power scales with the
+active cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch.chip import ChipConfig
+from repro.arch.power import PowerModel
+from repro.compiler.pipeline import CompiledModel, compile_model
+from repro.compiler.versions import CompilerVersion, LATEST
+from repro.sim.core import SimResult, TensorCoreSim
+from repro.util.units import TERA
+from repro.workloads.models import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """Chip-level evaluation of one workload at one batch size."""
+
+    workload: str
+    chip: str
+    batch: int
+    latency_s: float
+    chip_qps: float            # batches/s * batch, across all cores
+    chip_power_w: float
+    achieved_tops_chip: float
+    mxu_utilization: float
+    cmem_hit_fraction: float
+
+    @property
+    def samples_per_joule(self) -> float:
+        return self.chip_qps / self.chip_power_w if self.chip_power_w else 0.0
+
+    @property
+    def tops_per_watt(self) -> float:
+        return (self.achieved_tops_chip / self.chip_power_w
+                if self.chip_power_w else 0.0)
+
+
+class DesignPoint:
+    """One (chip, compiler release) pair with memoized evaluation."""
+
+    def __init__(self, chip: ChipConfig,
+                 version: CompilerVersion = LATEST) -> None:
+        self.chip = chip
+        self.version = version
+        self.sim = TensorCoreSim(chip)
+        self._compiled: Dict[Tuple[str, int, Optional[int]], CompiledModel] = {}
+        self._results: Dict[Tuple[str, int, Optional[int]], SimResult] = {}
+
+    # ------------------------------------------------------------- compile/run
+
+    def compiled(self, spec: WorkloadSpec, batch: int,
+                 cmem_budget_bytes: Optional[int] = None) -> CompiledModel:
+        """Compile (memoized) a workload at a batch size."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        key = (spec.name, batch, cmem_budget_bytes)
+        if key not in self._compiled:
+            module = spec.build(batch)
+            self._compiled[key] = compile_model(
+                module, self.chip, version=self.version,
+                cmem_budget_bytes=cmem_budget_bytes)
+        return self._compiled[key]
+
+    def run(self, spec: WorkloadSpec, batch: int,
+            cmem_budget_bytes: Optional[int] = None) -> SimResult:
+        """Simulate (memoized) one inference of a workload."""
+        key = (spec.name, batch, cmem_budget_bytes)
+        if key not in self._results:
+            compiled = self.compiled(spec, batch, cmem_budget_bytes)
+            self._results[key] = self.sim.run(compiled.program)
+        return self._results[key]
+
+    def latency_s(self, spec: WorkloadSpec, batch: int,
+                  cmem_budget_bytes: Optional[int] = None) -> float:
+        """Latency of one batch (seconds)."""
+        return self.run(spec, batch, cmem_budget_bytes).seconds
+
+    # ------------------------------------------------------------- evaluation
+
+    def evaluate(self, spec: WorkloadSpec, batch: Optional[int] = None,
+                 cmem_budget_bytes: Optional[int] = None) -> Evaluation:
+        """Chip-level throughput/power evaluation at a batch size."""
+        b = batch if batch is not None else spec.default_batch
+        result = self.run(spec, b, cmem_budget_bytes)
+        compiled = self.compiled(spec, b, cmem_budget_bytes)
+        cores = self.chip.cores
+        seconds = result.seconds
+        counters = result.counters
+
+        # Chip power: idle once, dynamic activity times the active cores.
+        power_model = PowerModel(self.chip)
+        sram = (counters.bytes_by_level.get("vmem", 0.0)
+                + counters.bytes_by_level.get("cmem", 0.0))
+        power = power_model.average_power(
+            seconds,
+            macs=counters.macs * cores,
+            sram_bytes=sram * cores,
+            hbm_bytes=counters.bytes_by_level.get("hbm", 0.0) * cores,
+            vector_ops=counters.vector_alu_ops * cores,
+        )
+        # Datapath activity -> chip power: scale the dynamic component by
+        # the uncore/margin factor (clocking, PHYs) the activity model
+        # cannot see, then cap at TDP.
+        dynamic_w = power.total_w - power.static_w
+        chip_power_w = power.static_w + dynamic_w * PowerModel.UNCORE_MARGIN
+        chip_ops_per_s = 2.0 * counters.macs * cores / seconds
+        return Evaluation(
+            workload=spec.name,
+            chip=self.chip.name,
+            batch=b,
+            latency_s=seconds,
+            chip_qps=cores * b / seconds,
+            chip_power_w=min(chip_power_w, self.chip.tdp_w),
+            achieved_tops_chip=chip_ops_per_s / TERA,
+            mxu_utilization=result.report.mxu_utilization,
+            cmem_hit_fraction=compiled.memory.cmem_hit_fraction,
+        )
+
+    def max_batch_under_slo(self, spec: WorkloadSpec, slo_s: float,
+                            candidates: Tuple[int, ...] = (1, 2, 4, 8, 16, 32,
+                                                           64, 128, 256)) -> int:
+        """Largest candidate batch whose latency meets the SLO (0 if none).
+
+        This is Lesson 9 in executable form: the app's latency budget — not
+        any architectural limit — decides the batch size.
+        """
+        if slo_s <= 0:
+            raise ValueError("SLO must be positive")
+        best = 0
+        for batch in candidates:
+            if self.latency_s(spec, batch) <= slo_s:
+                best = max(best, batch)
+        return best

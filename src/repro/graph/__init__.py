@@ -1,0 +1,31 @@
+"""HLO-like graph IR (the compiler-compatibility boundary of Lesson 2).
+
+Models are expressed as computations over tensors in a small XLA-HLO-style
+op set. This IR — not the VLIW binary — is the durable interface between
+ML frameworks and TPU generations: the same :class:`HloModule` compiles to
+any generation whose dtypes it uses, which is what "compiler compatibility
+trumps binary compatibility" means operationally.
+"""
+
+from repro.graph.shapes import DTYPES, DType, Shape
+from repro.graph.ops import OpDef, OPDEFS, opdef
+from repro.graph.hlo import HloInstruction, HloModule, GraphBuilder
+from repro.graph.evaluator import Evaluator, evaluate_module
+from repro.graph.text import HloTextError, module_from_text, module_to_text
+
+__all__ = [
+    "DTYPES",
+    "DType",
+    "Shape",
+    "OpDef",
+    "OPDEFS",
+    "opdef",
+    "HloInstruction",
+    "HloModule",
+    "GraphBuilder",
+    "Evaluator",
+    "evaluate_module",
+    "HloTextError",
+    "module_from_text",
+    "module_to_text",
+]

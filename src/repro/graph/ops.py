@@ -1,0 +1,99 @@
+"""Op definitions: the IR's vocabulary and per-op cost accounting.
+
+Each :class:`OpDef` carries the op's structural *kind* (what lowering rule
+applies) and, for vector ops, the VPU op class used to price it. The
+``flops``/``weight_bytes`` helpers below give the canonical arithmetic and
+parameter-traffic counts per instruction — the numbers every roofline,
+power, and scheduling result in the paper derives from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+# Structural kinds, each with one lowering rule in the compiler:
+#   data      parameter/constant: produces a tensor, no compute
+#   unary     elementwise one-operand VPU op
+#   binary    elementwise two-operand VPU op
+#   matmul    MXU matrix multiply
+#   conv      MXU convolution (im2col)
+#   reduce    VPU reduction over one axis
+#   pool      spatial max pooling: a windowed VPU reduction
+#   gather    embedding lookup: pure memory traffic
+#   shape     reshape/transpose/slice/concat: data movement only
+#   composite softmax/layernorm: expands to primitives before lowering
+KINDS = ("data", "unary", "binary", "matmul", "conv", "reduce", "pool",
+         "gather", "shape", "composite")
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Definition of one IR opcode."""
+
+    name: str
+    kind: str
+    vpu_class: Optional[str] = None  # VPU pricing class for unary/binary/reduce
+    flops_per_element: float = 1.0   # for elementwise ops
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"{self.name}: unknown kind {self.kind!r}")
+        if self.kind in ("unary", "binary", "reduce") and not self.vpu_class:
+            raise ValueError(f"{self.name}: vector ops need a vpu_class")
+
+
+OPDEFS: Dict[str, OpDef] = {
+    op.name: op
+    for op in (
+        # Data.
+        OpDef("parameter", "data"),
+        OpDef("constant", "data"),
+        # Elementwise unary.
+        OpDef("relu", "unary", "relu", 1),
+        OpDef("tanh", "unary", "tanh", 8),
+        OpDef("sigmoid", "unary", "sigmoid", 8),
+        OpDef("gelu", "unary", "gelu", 10),
+        OpDef("erf", "unary", "erf", 8),
+        OpDef("exp", "unary", "exp", 6),
+        OpDef("rsqrt", "unary", "rsqrt", 4),
+        OpDef("convert", "unary", "copy", 0.5),
+        OpDef("scale", "unary", "mul", 1),  # multiply by a literal factor
+
+        # Elementwise binary.
+        OpDef("add", "binary", "add", 1),
+        OpDef("sub", "binary", "sub", 1),
+        OpDef("mul", "binary", "mul", 1),
+        OpDef("div", "binary", "div", 4),
+        OpDef("max", "binary", "max", 1),
+        OpDef("min", "binary", "min", 1),
+        # Matrix.
+        OpDef("dot", "matmul"),
+        OpDef("batched_dot", "matmul"),
+        OpDef("conv2d", "conv"),
+        # Reductions.
+        OpDef("reduce_sum", "reduce", "reduce", 1),
+        OpDef("reduce_max", "reduce", "reduce", 1),
+        OpDef("max_pool2d", "pool", "max", 1),
+        # Memory-dominated.
+        OpDef("embedding_lookup", "gather"),
+        # Shape manipulation.
+        OpDef("reshape", "shape"),
+        OpDef("broadcast", "shape"),
+        OpDef("transpose", "shape"),
+        OpDef("concat", "shape"),
+        OpDef("slice", "shape"),
+        # Composites (expanded before lowering).
+        OpDef("softmax", "composite"),
+        OpDef("layernorm", "composite"),
+    )
+}
+
+
+def opdef(name: str) -> OpDef:
+    """Look up an op definition."""
+    try:
+        return OPDEFS[name]
+    except KeyError:
+        known = ", ".join(sorted(OPDEFS))
+        raise KeyError(f"unknown op {name!r}; known: {known}") from None

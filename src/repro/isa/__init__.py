@@ -1,0 +1,45 @@
+"""VLIW ISA for the TPU TensorCore family (Lesson 2 substrate).
+
+The TensorCore is a VLIW machine: each cycle issues one *bundle* with slots
+for scalar, vector, matrix, DMA, and sync operations. Crucially for Lesson 2,
+the *binary* bundle format changed every generation (slot counts, field
+widths, opcode numbering), so shipped binaries never survive a generation —
+only programs recompiled from the graph IR do. This package defines the
+instructions, bundles, per-generation binary encodings, and a textual
+assembler used by tests and examples.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Bundle,
+    Opcode,
+    SlotClass,
+    SLOT_LAYOUTS,
+    slot_layout_for_generation,
+)
+from repro.isa.program import Program
+from repro.isa.encoding import (
+    BinaryFormat,
+    IncompatibleBinaryError,
+    encode_program,
+    decode_program,
+    format_for_generation,
+)
+from repro.isa.assembler import assemble, disassemble
+
+__all__ = [
+    "Instruction",
+    "Bundle",
+    "Opcode",
+    "SlotClass",
+    "SLOT_LAYOUTS",
+    "slot_layout_for_generation",
+    "Program",
+    "BinaryFormat",
+    "IncompatibleBinaryError",
+    "encode_program",
+    "decode_program",
+    "format_for_generation",
+    "assemble",
+    "disassemble",
+]

@@ -1,0 +1,15 @@
+"""Backwards ML compatibility (Lesson 10)."""
+
+from repro.mlcompat.checker import (
+    CompatCheck,
+    check_numerics_match,
+    deployment_readiness,
+    model_numerics_match,
+)
+
+__all__ = [
+    "CompatCheck",
+    "check_numerics_match",
+    "deployment_readiness",
+    "model_numerics_match",
+]

@@ -1,0 +1,68 @@
+"""Post-training int8 quantization with calibration.
+
+This is the TPUv1 deployment path the paper's Lesson 7 pushes back on: it
+works well for many models (CNNs), but some workloads lose quality, and
+every new model needs a calibration pass before it can ship — friction
+bf16 avoids entirely. The quantizer here is symmetric per-tensor with a
+percentile calibrator, matching common production practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Symmetric quantization parameters: ``real = scale * int8``."""
+
+    scale: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0 or not np.isfinite(self.scale):
+            raise ValueError(f"scale must be positive and finite, got {self.scale}")
+
+
+def calibrate(samples: np.ndarray, percentile: float = 99.9) -> QuantParams:
+    """Choose a scale from representative activations/weights.
+
+    Clipping at a high percentile rather than the absolute max trades a
+    little saturation error for much finer resolution when the
+    distribution has outliers (exactly the models that hurt at int8).
+    """
+    if not 0 < percentile <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {percentile}")
+    magnitudes = np.abs(np.asarray(samples, dtype=np.float32)).ravel()
+    if magnitudes.size == 0:
+        raise ValueError("cannot calibrate on an empty sample")
+    clip = float(np.percentile(magnitudes, percentile))
+    if clip == 0.0:
+        clip = 1e-8  # all-zero tensor: any scale works
+    return QuantParams(scale=clip / 127.0)
+
+
+def quantize(values: np.ndarray, params: QuantParams) -> np.ndarray:
+    """fp32 -> int8 with saturation."""
+    arr = np.asarray(values, dtype=np.float32)
+    q = np.round(arr / params.scale)
+    return np.clip(q, -127, 127).astype(np.int8)
+
+
+def dequantize(values: np.ndarray, params: QuantParams) -> np.ndarray:
+    """int8 -> fp32."""
+    return values.astype(np.float32) * params.scale
+
+
+def int8_matmul(lhs: np.ndarray, rhs: np.ndarray,
+                lhs_params: QuantParams, rhs_params: QuantParams) -> np.ndarray:
+    """Quantized matmul: int8 operands, int32 accumulation, fp32 result.
+
+    This is TPUv1 MXU semantics: the array multiplies 8-bit operands into
+    32-bit accumulators; the combined scale is applied on readout.
+    """
+    qa = quantize(lhs, lhs_params).astype(np.int32)
+    qb = quantize(rhs, rhs_params).astype(np.int32)
+    acc = qa @ qb
+    return acc.astype(np.float32) * (lhs_params.scale * rhs_params.scale)

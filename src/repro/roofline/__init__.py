@@ -1,0 +1,10 @@
+"""Roofline model (experiment E7)."""
+
+from repro.roofline.model import (
+    Roofline,
+    RooflinePoint,
+    chip_roofline,
+    place_module,
+)
+
+__all__ = ["Roofline", "RooflinePoint", "chip_roofline", "place_module"]

@@ -1,0 +1,18 @@
+"""Host runtime: artifacts, loading, and combined execute-and-time serving.
+
+The piece a downstream user actually touches: compile once, save the
+artifact, load it on a serving host, and run requests that return both
+*answers* (via the functional evaluator) and *latency* (via the timing
+simulator) — the two halves of the library joined at one API.
+"""
+
+from repro.runtime.artifact import CompiledArtifact, load_artifact, save_artifact
+from repro.runtime.server import InferenceServer, InferenceResult
+
+__all__ = [
+    "CompiledArtifact",
+    "load_artifact",
+    "save_artifact",
+    "InferenceServer",
+    "InferenceResult",
+]

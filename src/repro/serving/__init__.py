@@ -1,0 +1,37 @@
+"""Inference serving models (Lesson 9: latency limits batch; Lesson 4:
+multi-tenancy).
+
+A discrete-event serving simulator drives the chip simulator with
+synthetic request streams: dynamic batching under an SLO shows how the
+latency budget — never an architectural cap — picks the batch size, and
+the multi-tenant scheduler quantifies weight-swap costs vs CMEM
+partitioning when several models share one chip.
+"""
+
+from repro.serving.slo import Slo, percentile
+from repro.serving.batching import BatchPolicy
+from repro.serving.server import ServingSimulator, ServingStats
+from repro.serving.fleet import FleetPlan, plan_fleet
+from repro.serving.priority import TwoTierServer, TwoTierStats
+from repro.serving.multitenancy import (
+    Tenant,
+    MultiTenantSim,
+    MultiTenantStats,
+    partition_cmem,
+)
+
+__all__ = [
+    "Slo",
+    "percentile",
+    "BatchPolicy",
+    "ServingSimulator",
+    "ServingStats",
+    "FleetPlan",
+    "TwoTierServer",
+    "TwoTierStats",
+    "plan_fleet",
+    "Tenant",
+    "MultiTenantSim",
+    "MultiTenantStats",
+    "partition_cmem",
+]

@@ -1,0 +1,179 @@
+"""Multi-tenant serving (Lesson 4: support multi-tenancy).
+
+The paper reports that most production inference services keep *several*
+models resident per accelerator (traffic mixing, A/B experiments, canary
+versions). Two policies are modeled:
+
+* ``"swap"`` — one model owns all of CMEM at a time; switching tenants
+  re-stages the incoming model's weights from HBM (fast, *if* every
+  tenant's weights were provisioned to stay HBM-resident);
+* ``"swap_host"`` — the unsupported-multi-tenancy case: on-device memory
+  only holds the active model, so a switch hauls the incoming model's
+  full weights from host DRAM over PCIe — tens of milliseconds that land
+  squarely on request latency;
+* ``"partition"`` — CMEM is divided among the tenants up front; each runs
+  slightly slower (smaller weight budget) but switching is free.
+
+With interleaved traffic the ordering is partition <= swap << swap_host:
+co-residency must be *provisioned for* (enough HBM for every tenant's
+weights, enough CMEM to split) — the quantitative form of Lesson 4, and
+why TPUv4i carries 8 GiB of HBM and 128 MiB of CMEM for inference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.design_point import DesignPoint
+from repro.serving.slo import percentile
+from repro.util.units import GIGA
+from repro.workloads.generator import Request
+from repro.workloads.models import WorkloadSpec
+
+# Host link for the unsupported-multi-tenancy case (PCIe Gen3 x16-class).
+PCIE_BW_BYTES_PER_S = 16 * GIGA
+
+_POLICIES = ("swap", "swap_host", "partition")
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One co-resident model and its traffic rate."""
+
+    spec: WorkloadSpec
+    rate_qps: float
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rate_qps <= 0:
+            raise ValueError("tenant rate must be positive")
+        if self.batch < 1:
+            raise ValueError("tenant batch must be >= 1")
+
+
+@dataclass(frozen=True)
+class MultiTenantStats:
+    """Outcome of one multi-tenant simulation."""
+
+    policy: str
+    tenants: int
+    requests: int
+    p99_s: float
+    mean_latency_s: float
+    throughput_qps: float
+    swap_count: int
+    swap_seconds_total: float
+
+    def describe(self) -> str:
+        return (f"{self.policy}/{self.tenants} tenants: p99 "
+                f"{self.p99_s * 1e3:.2f} ms, {self.throughput_qps:.0f} qps, "
+                f"{self.swap_count} swaps costing "
+                f"{self.swap_seconds_total * 1e3:.1f} ms total")
+
+
+def partition_cmem(point: DesignPoint, tenants: Sequence[Tenant]) -> Dict[str, int]:
+    """Split CMEM among tenants proportionally to their weight footprints.
+
+    Returns tenant name -> CMEM budget in bytes. A tenant set on a
+    CMEM-less chip gets all-zero budgets (everything streams from HBM).
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    capacity = point.chip.cmem_bytes
+    weights = {t.spec.name: t.spec.build(1).total_weight_bytes()
+               for t in tenants}
+    total = sum(weights.values())
+    if total == 0 or capacity == 0:
+        return {name: 0 for name in weights}
+    return {name: int(capacity * w / total) for name, w in weights.items()}
+
+
+class MultiTenantSim:
+    """FCFS multi-tenant serving with swap or partition CMEM policies."""
+
+    def __init__(self, point: DesignPoint, tenants: Sequence[Tenant]) -> None:
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.spec.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant workloads must be distinct")
+        self.point = point
+        self.tenants = list(tenants)
+        self._by_name = {t.spec.name: t for t in tenants}
+
+    def _latencies(self, policy: str) -> Dict[str, float]:
+        """Per-tenant single-request service time under the policy."""
+        result: Dict[str, float] = {}
+        if policy == "partition":
+            budgets = partition_cmem(self.point, self.tenants)
+            for tenant in self.tenants:
+                result[tenant.spec.name] = self.point.latency_s(
+                    tenant.spec, tenant.batch,
+                    cmem_budget_bytes=budgets[tenant.spec.name])
+        elif policy in ("swap", "swap_host"):
+            for tenant in self.tenants:
+                result[tenant.spec.name] = self.point.latency_s(
+                    tenant.spec, tenant.batch)
+        else:
+            raise ValueError(
+                f"policy must be one of {_POLICIES}, got {policy!r}")
+        return result
+
+    def _swap_cost_s(self, tenant: Tenant, policy: str) -> float:
+        """Time to bring a tenant's weights back when it becomes active.
+
+        ``swap``: only the CMEM-resident portion restages, at HBM bandwidth
+        (the weights stayed in HBM — co-residency was provisioned).
+        ``swap_host``: the full weight footprint crosses PCIe from host
+        memory (on-device capacity holds only the active model).
+        """
+        if policy == "swap_host":
+            weights = tenant.spec.build(1).total_weight_bytes()
+            return weights / PCIE_BW_BYTES_PER_S
+        if not self.point.chip.has_cmem:
+            return 0.0
+        compiled = self.point.compiled(tenant.spec, tenant.batch)
+        return self.point.sim.weight_load_seconds(
+            compiled.memory.cmem_weight_bytes, "cmem")
+
+    def simulate(self, requests: Sequence[Request],
+                 policy: str) -> MultiTenantStats:
+        """FCFS service of a merged, time-sorted request stream."""
+        if not requests:
+            raise ValueError("cannot simulate an empty request stream")
+        service = self._latencies(policy)
+        latencies: List[float] = []
+        server_free = 0.0
+        resident: str = ""
+        swap_count = 0
+        swap_total = 0.0
+
+        for request in requests:
+            tenant = self._by_name.get(request.tenant)
+            if tenant is None:
+                raise KeyError(f"request for unknown tenant {request.tenant!r}")
+            start = max(server_free, request.arrival_s)
+            if policy in ("swap", "swap_host") and request.tenant != resident:
+                if resident:  # first residency is free (deploy-time load)
+                    cost = self._swap_cost_s(tenant, policy)
+                    start += cost
+                    swap_count += 1
+                    swap_total += cost
+                resident = request.tenant
+            completion = start + service[request.tenant]
+            server_free = completion
+            latencies.append(completion - request.arrival_s)
+
+        duration = server_free - requests[0].arrival_s
+        return MultiTenantStats(
+            policy=policy,
+            tenants=len(self.tenants),
+            requests=len(requests),
+            p99_s=percentile(latencies, 99),
+            mean_latency_s=sum(latencies) / len(latencies),
+            throughput_qps=len(requests) / duration if duration > 0 else float("inf"),
+            swap_count=swap_count,
+            swap_seconds_total=swap_total,
+        )

@@ -1,0 +1,135 @@
+"""Discrete-event serving simulator.
+
+Feeds a request stream through a dynamic batcher onto a chip's cores
+(each core is an independent server running one batch at a time). Batch
+compute latencies come from the cycle simulator, memoized per compiled
+batch size, so a multi-second traffic simulation costs only a handful of
+program simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.design_point import DesignPoint
+from repro.serving.batching import BatchPolicy
+from repro.serving.slo import Slo, percentile
+from repro.workloads.generator import Request
+from repro.workloads.models import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """Latency/throughput summary of one serving simulation."""
+
+    workload: str
+    chip: str
+    requests: int
+    duration_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    mean_batch: float
+    throughput_qps: float
+    slo_violation_fraction: float
+
+    def describe(self) -> str:
+        return (f"{self.workload} on {self.chip}: {self.requests} reqs, "
+                f"p99 {self.p99_s * 1e3:.2f} ms, mean batch "
+                f"{self.mean_batch:.1f}, {self.throughput_qps:.0f} qps, "
+                f"{self.slo_violation_fraction:.1%} SLO violations")
+
+
+class ServingSimulator:
+    """Simulates request serving for one workload on one design point."""
+
+    def __init__(self, point: DesignPoint, spec: WorkloadSpec,
+                 policy: BatchPolicy, slo: Slo) -> None:
+        self.point = point
+        self.spec = spec
+        self.policy = policy
+        self.slo = slo
+        self._latency_cache: Dict[int, float] = {}
+
+    def batch_latency_s(self, batch: int) -> float:
+        """Compute latency of one padded batch (memoized)."""
+        padded = self.policy.padded_size(batch)
+        if padded not in self._latency_cache:
+            self._latency_cache[padded] = self.point.latency_s(
+                self.spec, padded)
+        return self._latency_cache[padded]
+
+    def simulate(self, requests: Sequence[Request]) -> ServingStats:
+        """Run the event loop over a time-sorted request stream."""
+        if not requests:
+            raise ValueError("cannot simulate an empty request stream")
+        arrivals = [r.arrival_s for r in requests]
+        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+            raise ValueError("requests must be sorted by arrival time")
+
+        cores = self.point.chip.cores
+        servers = [0.0] * cores
+        heapq.heapify(servers)
+
+        latencies: List[float] = []
+        batch_sizes: List[int] = []
+        index = 0
+        queue: List[float] = []  # arrival times of queued requests
+        total = len(arrivals)
+        last_completion = 0.0
+
+        while index < total or queue:
+            if not queue:
+                queue.append(arrivals[index])
+                index += 1
+            server_free = servers[0]
+            # Absorb arrivals that land before this batch could launch.
+            while (index < total and len(queue) < self.policy.max_batch):
+                deadline = queue[0] + self.policy.max_wait_s
+                horizon = max(server_free, deadline)
+                if arrivals[index] <= horizon:
+                    queue.append(arrivals[index])
+                    index += 1
+                else:
+                    break
+            if len(queue) >= self.policy.max_batch:
+                ready = queue[self.policy.max_batch - 1]
+            else:
+                ready = queue[0] + self.policy.max_wait_s
+            launch = max(server_free, ready)
+
+            size = min(len(queue), self.policy.max_batch)
+            batch, queue = queue[:size], queue[size:]
+            completion = launch + self.batch_latency_s(size)
+            heapq.heapreplace(servers, completion)
+            latencies.extend(completion - a for a in batch)
+            batch_sizes.append(size)
+            last_completion = max(last_completion, completion)
+
+        duration = max(last_completion, arrivals[-1]) - arrivals[0]
+        return ServingStats(
+            workload=self.spec.name,
+            chip=self.point.chip.name,
+            requests=total,
+            duration_s=duration,
+            p50_s=percentile(latencies, 50),
+            p95_s=percentile(latencies, 95),
+            p99_s=percentile(latencies, 99),
+            mean_batch=sum(batch_sizes) / len(batch_sizes),
+            throughput_qps=total / duration if duration > 0 else float("inf"),
+            slo_violation_fraction=self.slo.violation_fraction(latencies),
+        )
+
+    def max_slo_batch(self) -> int:
+        """Largest compiled batch step whose *compute alone* fits the SLO.
+
+        The Lesson 9 headline number: even with zero queueing, the latency
+        budget caps the batch.
+        """
+        best = 0
+        for step in BatchPolicy.batch_steps(self.policy.max_batch):
+            if self.batch_latency_s(step) <= self.slo.limit_s:
+                best = max(best, step)
+        return best

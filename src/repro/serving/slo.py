@@ -1,0 +1,49 @@
+"""Service-level objectives and percentile math."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (the convention serving dashboards use).
+
+    >>> percentile([1, 2, 3, 4], 50)
+    2
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 < pct <= 100:
+        raise ValueError(f"pct must be in (0, 100], got {pct}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class Slo:
+    """A latency SLO: ``pct`` of requests must finish within ``limit_s``."""
+
+    limit_s: float
+    pct: float = 99.0
+
+    def __post_init__(self) -> None:
+        if self.limit_s <= 0:
+            raise ValueError("SLO limit must be positive")
+        if not 0 < self.pct <= 100:
+            raise ValueError("SLO percentile must be in (0, 100]")
+
+    def met_by(self, latencies_s: Sequence[float]) -> bool:
+        """Whether a latency sample satisfies the SLO."""
+        if not latencies_s:
+            return True
+        return percentile(latencies_s, self.pct) <= self.limit_s
+
+    def violation_fraction(self, latencies_s: Sequence[float]) -> float:
+        """Fraction of requests over the limit."""
+        if not latencies_s:
+            return 0.0
+        over = sum(1 for l in latencies_s if l > self.limit_s)
+        return over / len(latencies_s)

@@ -1,0 +1,21 @@
+"""Cycle-approximate TensorCore simulator.
+
+Executes compiled VLIW programs against a chip's timing models: in-order
+bundle issue, pipelined MXU/VPU occupancy, DMA engines with shared-bandwidth
+contention, and sync-flag blocking — enough fidelity to reproduce the
+paper's utilization, roofline, and latency shapes (the repro band for this
+paper is explicitly "analytical/cycle sim, not RTL").
+"""
+
+from repro.sim.perf import PerfCounters, PerfReport
+from repro.sim.trace import Trace, TraceEvent
+from repro.sim.core import TensorCoreSim, SimResult
+
+__all__ = [
+    "PerfCounters",
+    "PerfReport",
+    "Trace",
+    "TraceEvent",
+    "TensorCoreSim",
+    "SimResult",
+]

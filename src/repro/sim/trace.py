@@ -1,0 +1,60 @@
+"""Execution tracing: per-instruction timeline for debugging and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instruction's execution window on one unit."""
+
+    cycle_start: int
+    cycle_end: int
+    unit: str        # "mxu", "vpu", "dma.hbm", "dma.cmem", "scalar", "sync"
+    mnemonic: str
+    detail: str = ""
+
+    @property
+    def duration(self) -> int:
+        return self.cycle_end - self.cycle_start
+
+
+@dataclass
+class Trace:
+    """Bounded event log; recording stops silently at ``capacity``.
+
+    The cap keeps long serving simulations from accumulating gigabytes of
+    events; ``truncated`` tells you when it hit.
+    """
+
+    capacity: int = 100_000
+    events: List[TraceEvent] = field(default_factory=list)
+    truncated: bool = False
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.capacity:
+            self.truncated = True
+            return
+        self.events.append(event)
+
+    def by_unit(self, unit: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.unit == unit]
+
+    def busy_cycles(self, unit: str) -> int:
+        return sum(e.duration for e in self.by_unit(unit))
+
+    def last_cycle(self) -> int:
+        return max((e.cycle_end for e in self.events), default=0)
+
+    def render(self, limit: int = 40) -> str:
+        """A human-readable timeline of the first ``limit`` events."""
+        lines = [f"{'cycle':>10}  {'unit':<9} event"]
+        for event in self.events[:limit]:
+            lines.append(
+                f"{event.cycle_start:>10}  {event.unit:<9} "
+                f"{event.mnemonic} {event.detail} (+{event.duration})")
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more events")
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Capital cost: die, memory, package, board, cooling hardware.
+
+Die cost uses the standard negative-binomial (Murphy/Bose-Einstein) yield
+model over the node's wafer cost and defect density. Memory prices are
+per-technology (DDR3 vs HBM2). All constants are order-of-magnitude
+public figures; the experiment consumes *ratios* between generations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arch.chip import ChipConfig
+from repro.arch.cooling import solution_for
+from repro.tech.node import ProcessNode, node_by_name
+from repro.util.units import GIB
+
+_WAFER_DIAMETER_MM = 300.0
+_EDGE_LOSS_MM = 5.0
+_YIELD_ALPHA = 4.0  # defect clustering parameter
+
+# Memory $/GiB: commodity DDR3 vs HBM stacks (incl. interposer share).
+_DDR3_USD_PER_GIB = 5.0
+_HBM_USD_PER_GIB = 20.0
+_PACKAGE_USD = 60.0
+_BOARD_SHARE_USD = 250.0
+
+
+def dies_per_wafer(die_mm2: float) -> int:
+    """Gross dies per 300mm wafer (area term minus edge-scrap term)."""
+    if die_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    radius = _WAFER_DIAMETER_MM / 2.0 - _EDGE_LOSS_MM
+    wafer_area = math.pi * radius**2
+    edge = math.pi * 2.0 * radius / math.sqrt(2.0 * die_mm2)
+    return max(1, int(wafer_area / die_mm2 - edge))
+
+
+def die_yield(node: ProcessNode, die_mm2: float) -> float:
+    """Fraction of good dies: ``(1 + D0*A/alpha)^-alpha``."""
+    if die_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    defects = node.defect_density_per_cm2 * (die_mm2 / 100.0)
+    return (1.0 + defects / _YIELD_ALPHA) ** (-_YIELD_ALPHA)
+
+
+def die_cost_usd(node: ProcessNode, die_mm2: float) -> float:
+    """Cost of one *good* die."""
+    good = dies_per_wafer(die_mm2) * die_yield(node, die_mm2)
+    return node.wafer_cost_usd / good
+
+
+def memory_cost_usd(chip: ChipConfig) -> float:
+    """Off-chip memory cost (DDR3 for TPUv1, HBM for the rest)."""
+    gib = chip.hbm_bytes / GIB
+    per_gib = _DDR3_USD_PER_GIB if chip.generation == 1 else _HBM_USD_PER_GIB
+    return gib * per_gib
+
+
+def chip_capex_usd(chip: ChipConfig) -> float:
+    """All-in per-accelerator capital cost."""
+    node = node_by_name(chip.process)
+    cooling = solution_for(chip)
+    return (die_cost_usd(node, chip.die_mm2)
+            + memory_cost_usd(chip)
+            + _PACKAGE_USD
+            + _BOARD_SHARE_USD
+            + cooling.capex_usd_per_chip)

@@ -1,0 +1,70 @@
+"""Combined TCO and the perf/TCO vs perf/CapEx comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.arch.chip import ChipConfig
+from repro.tco.capex import chip_capex_usd
+from repro.tco.opex import OpexParams, chip_opex_usd
+
+
+@dataclass(frozen=True)
+class ChipTco:
+    """Lifetime cost decomposition of one accelerator."""
+
+    chip_name: str
+    capex_usd: float
+    opex_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.capex_usd + self.opex_usd
+
+    @property
+    def opex_share(self) -> float:
+        return self.opex_usd / self.total_usd if self.total_usd else 0.0
+
+
+def chip_tco(chip: ChipConfig, busy_power_w: float,
+             params: OpexParams = OpexParams()) -> ChipTco:
+    """TCO of one chip at a measured busy power."""
+    return ChipTco(
+        chip_name=chip.name,
+        capex_usd=chip_capex_usd(chip),
+        opex_usd=chip_opex_usd(chip, busy_power_w, params),
+    )
+
+
+def perf_per_tco(qps: float, tco: ChipTco) -> float:
+    """Queries/s per lifetime dollar — the paper's figure of merit."""
+    if qps < 0:
+        raise ValueError("qps must be non-negative")
+    return qps / tco.total_usd if tco.total_usd else 0.0
+
+
+def rank_designs(qps_by_chip: Dict[str, float],
+                 tcos: Sequence[ChipTco]) -> Dict[str, List[str]]:
+    """Rank chips by perf/CapEx and by perf/TCO.
+
+    Returns ``{"by_capex": [...], "by_tco": [...]}``, best first. The E12
+    benchmark prints both orders; Lesson 3 is the observation that they
+    differ (and that the purchase decision must use the second).
+    """
+    by_name = {t.chip_name: t for t in tcos}
+    missing = set(qps_by_chip) - set(by_name)
+    if missing:
+        raise ValueError(f"no TCO for chips: {sorted(missing)}")
+
+    def capex_score(name: str) -> float:
+        return qps_by_chip[name] / by_name[name].capex_usd
+
+    def tco_score(name: str) -> float:
+        return perf_per_tco(qps_by_chip[name], by_name[name])
+
+    names = list(qps_by_chip)
+    return {
+        "by_capex": sorted(names, key=capex_score, reverse=True),
+        "by_tco": sorted(names, key=tco_score, reverse=True),
+    }

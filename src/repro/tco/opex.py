@@ -1,0 +1,54 @@
+"""Operating cost: electricity over the deployment lifetime.
+
+OpEx = average chip power x cooling overhead x PUE x hours x $/kWh, plus
+a provisioning charge for the power capacity itself (datacenter watts are
+paid for whether used or not — one of the reasons a 175 W air-cooled chip
+beats a 450 W liquid-cooled one on TCO even at lower peak performance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.chip import ChipConfig
+from repro.arch.cooling import solution_for
+
+
+@dataclass(frozen=True)
+class OpexParams:
+    """Datacenter economics knobs."""
+
+    years: float = 3.0
+    usd_per_kwh: float = 0.06
+    pue: float = 1.10
+    usd_per_provisioned_watt: float = 1.0  # yearly datacenter capacity charge
+    utilization: float = 0.55              # average duty cycle of the fleet
+
+    def __post_init__(self) -> None:
+        if self.years <= 0 or self.usd_per_kwh <= 0 or self.pue < 1.0:
+            raise ValueError("bad OpEx parameters")
+        if not 0 < self.utilization <= 1:
+            raise ValueError("utilization must be in (0, 1]")
+
+
+def average_wall_power_w(chip: ChipConfig, busy_power_w: float,
+                         params: OpexParams) -> float:
+    """Wall power including idle time, cooling overhead and PUE."""
+    if busy_power_w < 0:
+        raise ValueError("power must be non-negative")
+    cooling = solution_for(chip)
+    chip_avg = (params.utilization * busy_power_w
+                + (1.0 - params.utilization) * chip.idle_w)
+    with_cooling = chip_avg * (1.0 + cooling.opex_w_per_chip_w)
+    return with_cooling * params.pue
+
+
+def chip_opex_usd(chip: ChipConfig, busy_power_w: float,
+                  params: OpexParams = OpexParams()) -> float:
+    """Lifetime operating cost of one accelerator."""
+    wall = average_wall_power_w(chip, busy_power_w, params)
+    hours = params.years * 365.0 * 24.0
+    energy_usd = wall / 1000.0 * hours * params.usd_per_kwh
+    provisioning_usd = (chip.tdp_w * params.usd_per_provisioned_watt
+                        * params.years)
+    return energy_usd + provisioning_usd

@@ -1,0 +1,86 @@
+"""Scaling trajectories across nodes (the Lesson 1 figure).
+
+Each series normalizes a per-node metric to the oldest node in the range so
+the benchmark can print the three diverging curves the paper draws: logic
+improving fast, SRAM improving slowly, wires barely improving at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from repro.tech.node import NODES, ProcessNode
+
+
+@dataclass(frozen=True)
+class ScalingSeries:
+    """A named metric sampled across process nodes, normalized to the first.
+
+    ``values[i]`` is the *improvement factor* of ``nodes[i]`` relative to
+    ``nodes[0]`` (always >= 0; 1.0 at the first node; higher is better).
+    """
+
+    metric: str
+    nodes: Tuple[str, ...]
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.values):
+            raise ValueError("nodes and values must align")
+        if not self.values or abs(self.values[0] - 1.0) > 1e-9:
+            raise ValueError("series must be normalized to 1.0 at the first node")
+
+    def final_improvement(self) -> float:
+        """Improvement factor at the newest node in the series."""
+        return self.values[-1]
+
+
+def _series(metric: str, nodes: Sequence[ProcessNode],
+            higher_is_better: Callable[[ProcessNode], float]) -> ScalingSeries:
+    raw = [higher_is_better(n) for n in nodes]
+    base = raw[0]
+    return ScalingSeries(
+        metric=metric,
+        nodes=tuple(n.name for n in nodes),
+        values=tuple(v / base for v in raw),
+    )
+
+
+def _select(nodes: Sequence[ProcessNode]) -> Sequence[ProcessNode]:
+    return nodes if nodes else NODES
+
+
+def logic_density_series(nodes: Sequence[ProcessNode] = ()) -> ScalingSeries:
+    """Logic transistor density improvement (the fast-moving curve)."""
+    return _series("logic density", _select(nodes), lambda n: n.logic_density_mtr_mm2)
+
+
+def sram_density_series(nodes: Sequence[ProcessNode] = ()) -> ScalingSeries:
+    """SRAM bit density improvement (lags logic)."""
+    return _series("SRAM density", _select(nodes), lambda n: n.sram_bit_density_mbit_mm2)
+
+
+def wire_delay_series(nodes: Sequence[ProcessNode] = ()) -> ScalingSeries:
+    """Wire speed improvement: inverse delay per mm (nearly flat / negative)."""
+    return _series("wire speed", _select(nodes), lambda n: 1.0 / n.wire_delay_ps_mm)
+
+
+def energy_per_op_series(nodes: Sequence[ProcessNode] = ()) -> ScalingSeries:
+    """Energy efficiency improvement: inverse MAC energy."""
+    return _series("MAC energy efficiency", _select(nodes), lambda n: 1.0 / n.mac_energy_pj)
+
+
+def relative_improvement(nodes: Sequence[ProcessNode] = ()) -> List[ScalingSeries]:
+    """All four Lesson 1 series together, ready for the figure benchmark.
+
+    The defining property (asserted in tests and visible in the bench output)
+    is ``logic >> sram > wire`` at the newest node.
+    """
+    chosen = _select(nodes)
+    return [
+        logic_density_series(chosen),
+        sram_density_series(chosen),
+        wire_delay_series(chosen),
+        energy_per_op_series(chosen),
+    ]

@@ -1,0 +1,48 @@
+"""Shared utilities: units, deterministic RNG, and ASCII table rendering.
+
+These helpers are deliberately dependency-light; everything above them in the
+stack (``repro.arch``, ``repro.sim``, the benchmarks) uses them to keep
+unit handling and report formatting consistent.
+"""
+
+from repro.util.units import (
+    GHZ,
+    GIB,
+    KIB,
+    MHZ,
+    MIB,
+    GIGA,
+    KILO,
+    MEGA,
+    MICRO,
+    MILLI,
+    NANO,
+    TERA,
+    Frequency,
+    bytes_str,
+    count_str,
+    seconds_str,
+)
+from repro.util.rng import DeterministicRng
+from repro.util.tables import Table
+
+__all__ = [
+    "GHZ",
+    "GIB",
+    "KIB",
+    "MHZ",
+    "MIB",
+    "GIGA",
+    "KILO",
+    "MEGA",
+    "MICRO",
+    "MILLI",
+    "NANO",
+    "TERA",
+    "Frequency",
+    "DeterministicRng",
+    "Table",
+    "bytes_str",
+    "count_str",
+    "seconds_str",
+]

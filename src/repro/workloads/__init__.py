@@ -1,0 +1,56 @@
+"""Workload zoo: the paper's eight production inference apps and friends.
+
+The TPUv4i evaluation is organized around eight production workloads —
+MLP0/1, CNN0/1, RNN0/1, BERT0/1 — spanning recommendation, vision,
+sequence, and attention models. Exact production architectures are
+proprietary; these builders produce models with matching *published*
+characteristics (parameter footprints, operator mix, operational
+intensity bands), which is what every experiment actually depends on.
+
+Also here: MLPerf-inference-style models, the DNN growth model
+(Lesson 5), the workload-mix evolution series (Lesson 6), and synthetic
+request-arrival generators standing in for production traffic.
+"""
+
+from repro.workloads.models import (
+    WorkloadSpec,
+    PRODUCTION_APPS,
+    app_by_name,
+    build_mlp0,
+    build_mlp1,
+    build_cnn0,
+    build_cnn1,
+    build_rnn0,
+    build_rnn1,
+    build_bert0,
+    build_bert1,
+)
+from repro.workloads.extended import EXTENDED_APPS, extended_by_name
+from repro.workloads.mlperf import MLPERF_MODELS, mlperf_by_name
+from repro.workloads.growth import GrowthModel, PUBLISHED_MODEL_SIZES
+from repro.workloads.evolution import WORKLOAD_MIX_BY_YEAR, mix_for_year
+from repro.workloads.generator import RequestGenerator, Request
+
+__all__ = [
+    "WorkloadSpec",
+    "PRODUCTION_APPS",
+    "app_by_name",
+    "build_mlp0",
+    "build_mlp1",
+    "build_cnn0",
+    "build_cnn1",
+    "build_rnn0",
+    "build_rnn1",
+    "build_bert0",
+    "build_bert1",
+    "EXTENDED_APPS",
+    "extended_by_name",
+    "MLPERF_MODELS",
+    "mlperf_by_name",
+    "GrowthModel",
+    "PUBLISHED_MODEL_SIZES",
+    "WORKLOAD_MIX_BY_YEAR",
+    "mix_for_year",
+    "RequestGenerator",
+    "Request",
+]

@@ -1,0 +1,153 @@
+"""Extended model zoo: three more production-shaped workloads.
+
+Beyond the paper's eight apps, these models exercise IR/compiler paths the
+core zoo does not:
+
+* ``dlrm`` — recommendation with *many* embedding tables and an explicit
+  pairwise feature-interaction (batched_dot between activation tensors);
+* ``gnmt`` — encoder-decoder LSTMs with per-step cross-attention, the
+  2016-era translation architecture the TPUv2/v3 fleet actually served;
+* ``speech`` — a conv frontend (strided time-frequency reduction) feeding
+  stacked LSTMs, the acoustic-model shape.
+
+All three register as :class:`WorkloadSpec` entries, so every serving,
+TCO, and DSE instrument accepts them interchangeably with the core eight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.hlo import GraphBuilder, HloModule
+from repro.graph.shapes import Shape
+from repro.workloads.layers import conv_layer, embedding, fc, lstm_layer
+from repro.workloads.models import WorkloadSpec
+
+
+def build_dlrm(batch: int) -> HloModule:
+    """DLRM-style ranker: dense MLP + 8 embedding tables + interaction."""
+    builder = GraphBuilder("dlrm")
+    dim = 64
+
+    # Bottom MLP on dense features.
+    dense = builder.parameter(Shape((batch, 256)), "dense")
+    x = dense
+    for index, width in enumerate((512, 256, dim)):
+        x = fc(builder, x, width, "relu", f"bot{index}")
+
+    # Sparse features: eight tables of varying cardinality.
+    features = [x]
+    for index, rows in enumerate((1_000_000, 500_000, 250_000, 100_000,
+                                  50_000, 10_000, 5_000, 1_000)):
+        table = builder.constant(Shape((rows, dim)), f"emb{index}.table")
+        ids = builder.parameter(Shape((batch, 1), "int32"), f"emb{index}.ids")
+        gathered = builder.embedding_lookup(table, ids, f"emb{index}.look")
+        features.append(builder.reshape(gathered, (batch, dim),
+                                        f"emb{index}.flat"))
+
+    # Pairwise interaction: stack features then F x F dot products.
+    count = len(features)
+    stacked = builder.concat(
+        [builder.reshape(f, (batch, 1, dim), f"stk{i}")
+         for i, f in enumerate(features)], axis=1, name="stack")
+    transposed = builder.transpose(stacked, (0, 2, 1), "stack.T")
+    interactions = builder.batched_dot(stacked, transposed, "interact")
+    flat = builder.reshape(interactions, (batch, count * count), "inter.flat")
+    joined = builder.concat([x, flat], axis=1, name="joined")
+
+    # Top MLP.
+    y = joined
+    for index, width in enumerate((512, 256)):
+        y = fc(builder, y, width, "relu", f"top{index}")
+    logits = fc(builder, y, 1, "sigmoid", "ctr")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+def build_gnmt(batch: int, *, seq: int = 24, hidden: int = 1024,
+               enc_layers: int = 3, dec_layers: int = 3) -> HloModule:
+    """GNMT-style translator: LSTM encoder, LSTM decoder with attention."""
+    builder = GraphBuilder("gnmt")
+
+    # Encoder over the source sequence.
+    enc_steps = [builder.parameter(Shape((batch, hidden)), f"src{t}")
+                 for t in range(seq)]
+    for layer in range(enc_layers):
+        enc_steps = lstm_layer(builder, enc_steps, hidden, f"enc{layer}")
+
+    # Encoder memory for attention: [batch, seq, hidden] and its transpose.
+    memory = builder.concat(
+        [builder.reshape(h, (batch, 1, hidden), f"mem{t}")
+         for t, h in enumerate(enc_steps)], axis=1, name="memory")
+    memory_t = builder.transpose(memory, (0, 2, 1), "memory.T")
+
+    # Decoder: each step attends over the encoder memory.
+    dec_steps = [builder.parameter(Shape((batch, hidden)), f"tgt{t}")
+                 for t in range(seq)]
+    for layer in range(dec_layers):
+        dec_steps = lstm_layer(builder, dec_steps, hidden, f"dec{layer}")
+
+    attended: List = []
+    for t, h in enumerate(dec_steps):
+        query = builder.reshape(h, (batch, 1, hidden), f"q{t}")
+        scores = builder.batched_dot(query, memory_t, f"score{t}")
+        probs = builder.softmax(scores, f"attn{t}")
+        context = builder.batched_dot(probs, memory, f"ctx{t}")
+        attended.append(builder.reshape(context, (batch, hidden), f"c{t}"))
+
+    merged = builder.concat([attended[-1], dec_steps[-1]], axis=1,
+                            name="merge")
+    logits = fc(builder, merged, 32_000, None, "vocab")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+def build_speech(batch: int, *, frames: int = 96, mel: int = 64,
+                 hidden: int = 1024, layers: int = 4) -> HloModule:
+    """Acoustic model: strided conv frontend + stacked LSTMs + CTC head."""
+    builder = GraphBuilder("speech")
+    spectro = builder.parameter(Shape((batch, frames, mel, 1)), "spectrogram")
+    x = conv_layer(builder, spectro, 32, 3, stride=2, name="fe0")
+    x = conv_layer(builder, x, 32, 3, stride=2, name="fe1")
+    _, t_steps, f_bins, channels = x.shape.dims
+    seq = builder.reshape(x, (batch, t_steps, f_bins * channels), "fe.seq")
+
+    steps = []
+    for t in range(t_steps):
+        frame = builder.module.add(
+            "slice", Shape((batch, 1, f_bins * channels)), (seq,),
+            name=f"frame{t}", offset=t, axis=1)
+        flat = builder.reshape(frame, (batch, f_bins * channels), f"f{t}")
+        steps.append(fc(builder, flat, hidden, "relu", f"proj{t}"))
+    for layer in range(layers):
+        steps = lstm_layer(builder, steps, hidden, f"l{layer}")
+    logits = fc(builder, steps[-1], 4096, None, "ctc")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+EXTENDED_APPS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("dlrm", "MLP", build_dlrm, slo_ms=5.0, default_batch=64,
+                 nonlinearity="relu/sigmoid",
+                 description="DLRM-style ranker with pairwise interaction"),
+    WorkloadSpec("gnmt", "RNN", build_gnmt, slo_ms=100.0, default_batch=8,
+                 nonlinearity="sigmoid/tanh/softmax",
+                 description="GNMT-style translator with attention"),
+    WorkloadSpec("speech", "RNN", build_speech, slo_ms=50.0, default_batch=8,
+                 nonlinearity="relu/sigmoid/tanh",
+                 description="acoustic model: conv frontend + LSTM stack"),
+)
+
+_BY_NAME: Dict[str, WorkloadSpec] = {w.name: w for w in EXTENDED_APPS}
+
+
+def extended_by_name(name: str) -> WorkloadSpec:
+    """Look up an extended-zoo workload."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown extended app {name!r}; known: {known}") from None

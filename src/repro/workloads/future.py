@@ -1,0 +1,117 @@
+"""Future workloads: what the chip must run N years after tape-out.
+
+Lesson 5 (DNNs grow ~1.5x/yr) matters because a chip designed against
+today's models serves tomorrow's: TPUv4i reached production ~2 years
+after its workload snapshot was frozen, i.e. against models ~2.3x bigger
+than it was specced on. This module scales a BERT-class serving model
+along the growth curve and reports when a deployment stops meeting its
+SLO — and how much life multi-chip serving buys back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.workloads.growth import ANNUAL_GROWTH
+from repro.workloads.models import _build_bert
+from repro.graph.hlo import HloModule
+
+_BASE_HIDDEN = 768
+_BASE_LAYERS = 12
+_BASE_SEQ = 128
+_BASE_VOCAB = 30522
+
+
+@dataclass(frozen=True)
+class ScaledModel:
+    """One point on the growth curve."""
+
+    years_after_design: float
+    hidden: int
+    layers: int
+    heads: int
+    growth_factor: float
+
+    def build(self, batch: int) -> HloModule:
+        module = _build_bert(
+            f"bert+{self.years_after_design:g}y", batch, seq=_BASE_SEQ,
+            hidden=self.hidden, layers=self.layers, heads=self.heads,
+            vocab=_BASE_VOCAB)
+        return module
+
+
+def scaled_transformer(years_after_design: float,
+                       annual_rate: float = ANNUAL_GROWTH) -> ScaledModel:
+    """A BERT-class model grown ``years_after_design`` along the curve.
+
+    Dense parameter count targets ``base * rate^years``; width grows with
+    the cube root of the factor (the empirical depth/width balance of the
+    BERT->large->XL lineage) and depth absorbs the rest.
+    """
+    if years_after_design < 0:
+        raise ValueError("years must be non-negative")
+    if annual_rate <= 1.0:
+        raise ValueError("growth rate must exceed 1")
+    factor = annual_rate ** years_after_design
+    base_dense = 12 * _BASE_LAYERS * _BASE_HIDDEN**2
+    target_dense = base_dense * factor
+
+    hidden = int(round(_BASE_HIDDEN * factor ** (1.0 / 3.0) / 64.0)) * 64
+    hidden = max(_BASE_HIDDEN, hidden)
+    layers = max(2, int(round(target_dense / (12 * hidden**2))))
+    heads = hidden // 64
+    return ScaledModel(
+        years_after_design=years_after_design,
+        hidden=hidden,
+        layers=layers,
+        heads=heads,
+        growth_factor=factor,
+    )
+
+
+@dataclass(frozen=True)
+class LifetimeEntry:
+    """Deployment health of one grown model on one configuration."""
+
+    years: float
+    weight_mib: float
+    latency_ms: float
+    meets_slo: bool
+    qps: float
+
+
+def deployment_lifetime(point, *, slo_ms: float, batch: int,
+                        max_years: int = 4,
+                        deploy=None) -> list:
+    """Walk the growth curve until the SLO breaks.
+
+    ``point`` is a DesignPoint-like object exposing chip cores; ``deploy``
+    optionally maps ``(module, batch) -> (latency_s, qps)`` for multi-chip
+    configurations — defaults to single-chip compile+simulate.
+    """
+    from repro.compiler import compile_model
+    from repro.sim import TensorCoreSim
+
+    if deploy is None:
+        sim = TensorCoreSim(point.chip)
+
+        def deploy(module, b):
+            compiled = compile_model(module, point.chip)
+            result = sim.run(compiled.program)
+            return result.seconds, point.chip.cores * b / result.seconds
+
+    entries = []
+    for years in range(max_years + 1):
+        model = scaled_transformer(years)
+        module = model.build(batch)
+        latency_s, qps = deploy(module, batch)
+        entries.append(LifetimeEntry(
+            years=years,
+            weight_mib=module.total_weight_bytes() / (1024 * 1024),
+            latency_ms=latency_s * 1e3,
+            meets_slo=latency_s * 1e3 <= slo_ms,
+            qps=qps,
+        ))
+    return entries

@@ -1,0 +1,180 @@
+"""Layer-level building blocks shared by the model zoo.
+
+Each helper appends a standard DNN layer to a :class:`GraphBuilder` and
+returns its output instruction. Weight tensors are ``constant``
+instructions (the allocator pins those to CMEM); request tensors are
+``parameter`` instructions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.graph.hlo import GraphBuilder, HloInstruction
+from repro.graph.shapes import Shape
+
+
+def fc(builder: GraphBuilder, x: HloInstruction, out_dim: int,
+       activation: Optional[str] = "relu", name: str = "fc") -> HloInstruction:
+    """Fully-connected layer: ``x @ W + b`` with optional activation."""
+    in_dim = x.shape.dims[-1]
+    dtype = x.shape.dtype_name
+    w = builder.constant(Shape((in_dim, out_dim), dtype), f"{name}.w")
+    b = builder.constant(Shape((out_dim,), dtype), f"{name}.b")
+    y = builder.add(builder.dot(x, w, f"{name}.dot"), b, f"{name}.bias")
+    if activation is None:
+        return y
+    apply = getattr(builder, activation)
+    return apply(y, f"{name}.{activation}")
+
+
+def embedding(builder: GraphBuilder, batch: int, fields: int, rows: int,
+              dim: int, dtype: str = "bf16",
+              name: str = "emb") -> HloInstruction:
+    """Embedding lookup of ``fields`` categorical features per example.
+
+    Returns the concatenated feature vector ``[batch, fields*dim]``.
+    """
+    table = builder.constant(Shape((rows, dim), dtype), f"{name}.table")
+    ids = builder.parameter(Shape((batch, fields), "int32"), f"{name}.ids")
+    gathered = builder.embedding_lookup(table, ids, f"{name}.lookup")
+    return builder.reshape(gathered, (batch, fields * dim), f"{name}.flat")
+
+
+def lstm_layer(builder: GraphBuilder, steps: List[HloInstruction], hidden: int,
+               name: str = "lstm") -> List[HloInstruction]:
+    """One LSTM layer over a sequence of per-step inputs ``[batch, in_dim]``.
+
+    Standard cell: gates = [x_t, h_{t-1}] @ W (W is [in+hidden, 4*hidden]),
+    then sigmoid/tanh gating. The recurrence makes steps strictly
+    sequential — the property that starves wide MXUs at small batch.
+    """
+    if not steps:
+        raise ValueError("lstm_layer needs at least one timestep")
+    batch, in_dim = steps[0].shape.dims
+    dtype = steps[0].shape.dtype_name
+    w = builder.constant(Shape((in_dim + hidden, 4 * hidden), dtype), f"{name}.w")
+    bias = builder.constant(Shape((4 * hidden,), dtype), f"{name}.b")
+    # h_0 and c_0 are zero state, carried as constants of the right shape.
+    h = builder.constant(Shape((batch, hidden), dtype), f"{name}.h0")
+    c = builder.constant(Shape((batch, hidden), dtype), f"{name}.c0")
+
+    outputs: List[HloInstruction] = []
+    for t, x_t in enumerate(steps):
+        xh = builder.concat([x_t, h], axis=1, name=f"{name}.t{t}.xh")
+        gates = builder.add(builder.dot(xh, w, f"{name}.t{t}.gates"), bias,
+                            f"{name}.t{t}.bias")
+        # Gate nonlinearities (i, f, o sigmoid; g tanh), applied to slices.
+        gate_shape = Shape((batch, hidden), dtype)
+        i_g = builder.sigmoid(
+            builder.module.add("slice", gate_shape, (gates,),
+                               name=f"{name}.t{t}.i", offset=0),
+            f"{name}.t{t}.i.s")
+        f_g = builder.sigmoid(
+            builder.module.add("slice", gate_shape, (gates,),
+                               name=f"{name}.t{t}.f", offset=1),
+            f"{name}.t{t}.f.s")
+        o_g = builder.sigmoid(
+            builder.module.add("slice", gate_shape, (gates,),
+                               name=f"{name}.t{t}.o", offset=2),
+            f"{name}.t{t}.o.s")
+        g_g = builder.tanh(
+            builder.module.add("slice", gate_shape, (gates,),
+                               name=f"{name}.t{t}.g", offset=3),
+            f"{name}.t{t}.g.t")
+        c = builder.add(builder.mul(f_g, c, f"{name}.t{t}.fc"),
+                        builder.mul(i_g, g_g, f"{name}.t{t}.ig"),
+                        f"{name}.t{t}.c")
+        h = builder.mul(o_g, builder.tanh(c, f"{name}.t{t}.ct"),
+                        f"{name}.t{t}.h")
+        outputs.append(h)
+    return outputs
+
+
+def conv_layer(builder: GraphBuilder, x: HloInstruction, out_ch: int,
+               kernel: int, stride: int = 1, activation: Optional[str] = "relu",
+               name: str = "conv") -> HloInstruction:
+    """Conv + bias + activation (NHWC/HWIO, 'same' padding)."""
+    in_ch = x.shape.dims[-1]
+    dtype = x.shape.dtype_name
+    filt = builder.constant(Shape((kernel, kernel, in_ch, out_ch), dtype),
+                            f"{name}.w")
+    y = builder.conv2d(x, filt, stride=stride, padding="same",
+                       name=f"{name}.conv")
+    b = builder.constant(Shape((out_ch,), dtype), f"{name}.b")
+    y = builder.add(y, b, f"{name}.bias")
+    if activation is None:
+        return y
+    apply = getattr(builder, activation)
+    return apply(y, f"{name}.{activation}")
+
+
+def bottleneck(builder: GraphBuilder, x: HloInstruction, mid_ch: int,
+               out_ch: int, stride: int = 1,
+               name: str = "block") -> HloInstruction:
+    """ResNet bottleneck: 1x1 reduce, 3x3, 1x1 expand, residual add."""
+    y = conv_layer(builder, x, mid_ch, 1, 1, "relu", f"{name}.a")
+    y = conv_layer(builder, y, mid_ch, 3, stride, "relu", f"{name}.b")
+    y = conv_layer(builder, y, out_ch, 1, 1, None, f"{name}.c")
+    if x.shape.dims == y.shape.dims:
+        shortcut = x
+    else:
+        shortcut = conv_layer(builder, x, out_ch, 1, stride, None,
+                              f"{name}.proj")
+    return builder.relu(builder.add(y, shortcut, f"{name}.sum"),
+                        f"{name}.relu")
+
+
+def global_pool(builder: GraphBuilder, x: HloInstruction,
+                name: str = "pool") -> HloInstruction:
+    """Global average pool NHWC -> [N, C]."""
+    n, h, w, c = x.shape.dims
+    flat = builder.reshape(x, (n, h * w, c), f"{name}.flat")
+    summed = builder.reduce_sum(flat, axis=1, name=f"{name}.sum")
+    scale = builder.constant(Shape((c,), x.shape.dtype_name), f"{name}.scale")
+    return builder.mul(summed, scale, f"{name}.mean")
+
+
+def attention_block(builder: GraphBuilder, x: HloInstruction, heads: int,
+                    name: str = "attn") -> HloInstruction:
+    """Multi-head self-attention over ``x`` of shape [batch, seq, hidden]."""
+    batch, seq, hidden = x.shape.dims
+    if hidden % heads:
+        raise ValueError(f"hidden {hidden} not divisible by heads {heads}")
+    head_dim = hidden // heads
+    dtype = x.shape.dtype_name
+    flat = builder.reshape(x, (batch * seq, hidden), f"{name}.in")
+
+    def project(tag: str) -> HloInstruction:
+        w = builder.constant(Shape((hidden, hidden), dtype), f"{name}.{tag}.w")
+        proj = builder.dot(flat, w, f"{name}.{tag}")
+        # [batch*heads, seq, head_dim] for batched attention matmuls.
+        return builder.reshape(proj, (batch * heads, seq, head_dim),
+                               f"{name}.{tag}.heads")
+
+    q = project("q")
+    k = project("k")
+    v = project("v")
+    k_t = builder.transpose(k, (0, 2, 1), f"{name}.kT")
+    scores = builder.batched_dot(q, k_t, f"{name}.scores")
+    probs = builder.softmax(scores, f"{name}.softmax")
+    context = builder.batched_dot(probs, v, f"{name}.context")
+    merged = builder.reshape(context, (batch * seq, hidden), f"{name}.merge")
+    w_o = builder.constant(Shape((hidden, hidden), dtype), f"{name}.o.w")
+    out = builder.dot(merged, w_o, f"{name}.o")
+    return builder.reshape(out, (batch, seq, hidden), f"{name}.out")
+
+
+def transformer_layer(builder: GraphBuilder, x: HloInstruction, heads: int,
+                      ffn_dim: int, name: str = "layer") -> HloInstruction:
+    """Pre-LN transformer encoder layer with GELU FFN."""
+    batch, seq, hidden = x.shape.dims
+    attn = attention_block(builder, builder.layernorm(x, f"{name}.ln1"),
+                           heads, f"{name}.attn")
+    x = builder.add(x, attn, f"{name}.res1")
+    normed = builder.layernorm(x, f"{name}.ln2")
+    flat = builder.reshape(normed, (batch * seq, hidden), f"{name}.ffn.in")
+    up = fc(builder, flat, ffn_dim, "gelu", f"{name}.ffn.up")
+    down = fc(builder, up, hidden, None, f"{name}.ffn.down")
+    ffn = builder.reshape(down, (batch, seq, hidden), f"{name}.ffn.out")
+    return builder.add(x, ffn, f"{name}.res2")

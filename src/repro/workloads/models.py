@@ -1,0 +1,230 @@
+"""The eight production inference apps (paper Table 2 / experiment E2).
+
+Architectures are parameterized stand-ins with footprints and operator
+mixes matching the published characterization: two recommendation MLPs
+with embeddings, two deep CNNs, two stacked LSTMs, and two BERT-class
+transformers. ``slo_ms`` is the application's p99 latency budget — the
+quantity Lesson 9 says actually limits batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.graph.hlo import GraphBuilder, HloModule
+from repro.graph.shapes import Shape
+from repro.workloads.layers import (
+    bottleneck,
+    conv_layer,
+    embedding,
+    fc,
+    global_pool,
+    lstm_layer,
+    transformer_layer,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One production app.
+
+    Attributes:
+        name: e.g. ``"bert0"``.
+        category: MLP / CNN / RNN / Transformer.
+        build: ``build(batch) -> HloModule``.
+        slo_ms: p99 latency budget the serving experiments enforce.
+        default_batch: typical serving batch.
+        nonlinearity: dominant activation function (a Table 2 column).
+        description: one-line provenance note.
+    """
+
+    name: str
+    category: str
+    build: Callable[[int], HloModule]
+    slo_ms: float
+    default_batch: int
+    nonlinearity: str
+    description: str
+
+    def weight_mib(self) -> float:
+        """Parameter footprint in MiB (batch-independent)."""
+        return self.build(1).total_weight_bytes() / (1024 * 1024)
+
+    def ops_per_byte(self, batch: int = 0) -> float:
+        """Operational intensity at a batch size (default: the app's own)."""
+        b = batch if batch > 0 else self.default_batch
+        return self.build(b).operational_intensity()
+
+
+# ------------------------------------------------------------------ MLPs
+
+def build_mlp0(batch: int) -> HloModule:
+    """Recommendation ranker: big embeddings + modest dense stack."""
+    builder = GraphBuilder("mlp0")
+    features = embedding(builder, batch, fields=32, rows=2_000_000, dim=128)
+    x = features
+    for i, width in enumerate((2048, 2048, 1024, 512)):
+        x = fc(builder, x, width, "relu", f"dense{i}")
+    logits = fc(builder, x, 128, None, "head")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+def build_mlp1(batch: int) -> HloModule:
+    """Wider/deeper dense ranker whose weights exceed CMEM."""
+    builder = GraphBuilder("mlp1")
+    features = embedding(builder, batch, fields=48, rows=1_000_000, dim=96)
+    x = features
+    for i in range(8):
+        x = fc(builder, x, 4096, "relu", f"dense{i}")
+    logits = fc(builder, x, 256, None, "head")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+# ------------------------------------------------------------------ CNNs
+
+_RESNET_STAGES: Tuple[Tuple[int, int, int, int], ...] = (
+    # (blocks, mid channels, out channels, first stride)
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+_DEEP_STAGES: Tuple[Tuple[int, int, int, int], ...] = (
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (14, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+
+def _build_resnet(name: str, batch: int,
+                  stages: Tuple[Tuple[int, int, int, int], ...],
+                  image: int = 224) -> HloModule:
+    builder = GraphBuilder(name)
+    x = builder.parameter(Shape((batch, image, image, 3)), "image")
+    x = conv_layer(builder, x, 64, 7, stride=2, name="stem")
+    x = builder.max_pool2d(x, window=3, stride=2, name="stem.pool")
+    for stage_index, (blocks, mid, out, stride) in enumerate(stages):
+        for block_index in range(blocks):
+            x = bottleneck(builder, x, mid, out,
+                           stride=stride if block_index == 0 else 1,
+                           name=f"s{stage_index}.b{block_index}")
+    pooled = global_pool(builder, x)
+    logits = fc(builder, pooled, 1000, None, "classifier")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+def build_cnn0(batch: int) -> HloModule:
+    """ResNet-50-class vision classifier (~25M params)."""
+    return _build_resnet("cnn0", batch, _RESNET_STAGES)
+
+
+def build_cnn1(batch: int) -> HloModule:
+    """Deeper vision backbone (~44M params, ResNet-101-class)."""
+    return _build_resnet("cnn1", batch, _DEEP_STAGES)
+
+
+# ------------------------------------------------------------------ RNNs
+
+def _build_lstm(name: str, batch: int, seq: int, hidden: int,
+                layers: int, vocab: int) -> HloModule:
+    builder = GraphBuilder(name)
+    steps = [builder.parameter(Shape((batch, hidden)), f"x{t}")
+             for t in range(seq)]
+    for layer in range(layers):
+        steps = lstm_layer(builder, steps, hidden, f"l{layer}")
+    logits = fc(builder, steps[-1], vocab, None, "decoder")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+def build_rnn0(batch: int) -> HloModule:
+    """Translation-style stacked LSTM that fits CMEM (~100 MiB)."""
+    return _build_lstm("rnn0", batch, seq=25, hidden=1024, layers=4,
+                       vocab=4096)
+
+
+def build_rnn1(batch: int) -> HloModule:
+    """Large stacked LSTM whose weights exceed CMEM (~350 MiB)."""
+    return _build_lstm("rnn1", batch, seq=32, hidden=2048, layers=5,
+                       vocab=8192)
+
+
+# ------------------------------------------------------------ Transformers
+
+def _build_bert(name: str, batch: int, seq: int, hidden: int, layers: int,
+                heads: int, vocab: int) -> HloModule:
+    builder = GraphBuilder(name)
+    table = builder.constant(Shape((vocab, hidden)), "token.table")
+    ids = builder.parameter(Shape((batch, seq), "int32"), "token.ids")
+    x = builder.embedding_lookup(table, ids, "token.embed")
+    for layer in range(layers):
+        x = transformer_layer(builder, x, heads, 4 * hidden, f"l{layer}")
+    x = builder.layernorm(x, "final.ln")
+    flat = builder.reshape(x, (batch * seq, hidden), "final.flat")
+    logits = fc(builder, flat, 2, None, "classifier")
+    module = builder.build()
+    module.set_root(logits)
+    return module
+
+
+def build_bert0(batch: int) -> HloModule:
+    """BERT-base-class encoder (12 layers, hidden 768, ~110M params)."""
+    return _build_bert("bert0", batch, seq=128, hidden=768, layers=12,
+                       heads=12, vocab=30522)
+
+
+def build_bert1(batch: int) -> HloModule:
+    """BERT-large-class encoder (24 layers, hidden 1024, ~340M params)."""
+    return _build_bert("bert1", batch, seq=384, hidden=1024, layers=24,
+                       heads=16, vocab=30522)
+
+
+# ------------------------------------------------------------------ registry
+
+PRODUCTION_APPS: Tuple[WorkloadSpec, ...] = (
+    WorkloadSpec("mlp0", "MLP", build_mlp0, slo_ms=7.0, default_batch=128,
+                 nonlinearity="relu",
+                 description="recommendation ranker, embedding-dominated"),
+    WorkloadSpec("mlp1", "MLP", build_mlp1, slo_ms=20.0, default_batch=168,
+                 nonlinearity="relu",
+                 description="wide dense ranker, weights exceed CMEM"),
+    WorkloadSpec("cnn0", "CNN", build_cnn0, slo_ms=10.0, default_batch=8,
+                 nonlinearity="relu",
+                 description="ResNet-50-class image classifier"),
+    WorkloadSpec("cnn1", "CNN", build_cnn1, slo_ms=32.0, default_batch=8,
+                 nonlinearity="relu",
+                 description="deeper vision backbone"),
+    WorkloadSpec("rnn0", "RNN", build_rnn0, slo_ms=10.0, default_batch=16,
+                 nonlinearity="sigmoid/tanh",
+                 description="stacked LSTM, CMEM-resident"),
+    WorkloadSpec("rnn1", "RNN", build_rnn1, slo_ms=60.0, default_batch=16,
+                 nonlinearity="sigmoid/tanh",
+                 description="large stacked LSTM, HBM-bound"),
+    WorkloadSpec("bert0", "Transformer", build_bert0, slo_ms=15.0,
+                 default_batch=8, nonlinearity="gelu/softmax",
+                 description="BERT-base-class encoder"),
+    WorkloadSpec("bert1", "Transformer", build_bert1, slo_ms=40.0,
+                 default_batch=4, nonlinearity="gelu/softmax",
+                 description="BERT-large-class encoder"),
+)
+
+_BY_NAME: Dict[str, WorkloadSpec] = {w.name: w for w in PRODUCTION_APPS}
+
+
+def app_by_name(name: str) -> WorkloadSpec:
+    """Look up one of the eight production apps."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown app {name!r}; known: {known}") from None

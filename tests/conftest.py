@@ -1,0 +1,48 @@
+"""Shared fixtures: tiny models and memoized design points.
+
+Session-scoped fixtures keep the suite fast: compiling/simulating a
+workload is memoized inside DesignPoint, so tests share one instance per
+chip.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import TPUV1, TPUV2, TPUV3, TPUV4I
+from repro.core import DesignPoint
+from repro.graph import GraphBuilder, Shape
+
+
+@pytest.fixture(scope="session")
+def v4i_point() -> DesignPoint:
+    return DesignPoint(TPUV4I)
+
+
+@pytest.fixture(scope="session")
+def v3_point() -> DesignPoint:
+    return DesignPoint(TPUV3)
+
+
+def make_tiny_mlp(batch: int = 4, in_dim: int = 256, hidden: int = 128,
+                  name: str = "tiny"):
+    """A two-layer MLP used across compiler/sim tests."""
+    builder = GraphBuilder(name)
+    x = builder.parameter(Shape((batch, in_dim)), "x")
+    w0 = builder.constant(Shape((in_dim, hidden)), "w0")
+    h = builder.relu(builder.dot(x, w0, "h"), "act")
+    w1 = builder.constant(Shape((hidden, 16)), "w1")
+    out = builder.dot(h, w1, "out")
+    module = builder.build()
+    module.set_root(out)
+    return module
+
+
+@pytest.fixture()
+def tiny_mlp():
+    return make_tiny_mlp()
+
+
+@pytest.fixture(scope="session")
+def all_chips():
+    return (TPUV1, TPUV2, TPUV3, TPUV4I)

@@ -1,0 +1,74 @@
+"""Tests for the assembler/disassembler."""
+
+import pytest
+
+from repro.isa import Opcode, assemble, disassemble
+from repro.isa.assembler import AssemblyError
+
+GOOD = """
+.program kernel gen 4
+# stage weights, then compute
+dma.in 1, 65536, 0 ; mxm.loadw 128, 128
+sync.wait 0
+mxm 256, 128, 128 ; vrelu 32768
+halt
+"""
+
+
+class TestAssemble:
+    def test_parses_program(self):
+        p = assemble(GOOD)
+        assert p.name == "kernel"
+        assert p.generation == 4
+        assert len(p.bundles) == 4
+
+    def test_multi_instruction_bundle(self):
+        p = assemble(GOOD)
+        assert len(p.bundles[0].instructions) == 2
+
+    def test_comments_and_blanks_ignored(self):
+        p = assemble(".program x gen 2\n\n# nothing\nhalt\n")
+        assert len(p.bundles) == 1
+
+    def test_hex_operands(self):
+        p = assemble(".program x gen 4\nvadd 0x100\n")
+        inst = p.bundles[0].instructions[0]
+        assert inst.args == (256,)
+
+    def test_roundtrip(self):
+        p = assemble(GOOD)
+        assert disassemble(assemble(disassemble(p))) == disassemble(p)
+
+
+class TestErrors:
+    def test_missing_directive(self):
+        with pytest.raises(AssemblyError, match="directive"):
+            assemble("halt\n")
+
+    def test_duplicate_directive(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble(".program a gen 4\n.program b gen 4\n")
+
+    def test_bad_directive_shape(self):
+        with pytest.raises(AssemblyError):
+            assemble(".program a\nhalt\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble(".program x gen 4\nfrobnicate 1\n")
+
+    def test_bad_operand(self):
+        with pytest.raises(AssemblyError, match="not an integer"):
+            assemble(".program x gen 4\nvadd banana\n")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblyError):
+            assemble(".program x gen 4\nmxm 1, 2\n")
+
+    def test_slot_oversubscription(self):
+        with pytest.raises(AssemblyError):
+            assemble(".program x gen 1\nmxm 1, 1, 1 ; mxm 2, 2, 2\n")
+
+    def test_empty_input(self):
+        with pytest.raises(AssemblyError):
+            assemble("")

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_chips(self, capsys):
+        assert main(["chips"]) == 0
+        out = capsys.readouterr().out
+        assert "TPUv4i" in out and "TPUv1" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "bert0" in out and "SLO" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "--app", "cnn0", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out and "TCO" in out
+
+    def test_evaluate_unknown_app_fails_cleanly(self, capsys):
+        assert main(["evaluate", "--app", "gpt5"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_evaluate_unknown_chip_fails_cleanly(self, capsys):
+        assert main(["evaluate", "--app", "cnn0", "--chip", "TPUv9"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--app", "cnn0", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TPUv2" in out and "TPUv4i" in out
+
+    def test_migrate(self, capsys):
+        assert main(["migrate", "--app", "cnn0", "--source", "TPUv3",
+                     "--target", "TPUv4i"]) == 0
+        out = capsys.readouterr().out
+        assert "binary portable: False" in out
+        assert "recompiled:      True" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDump:
+    def test_dump_hlo(self, capsys):
+        assert main(["dump", "--app", "cnn0", "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("hlo_module cnn0")
+        assert "conv2d" in out
+
+    def test_dump_asm(self, capsys):
+        assert main(["dump", "--app", "cnn0", "--batch", "1",
+                     "--format", "asm"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(".program cnn0 gen 4")
+        assert "mxm" in out
+
+    def test_dump_hlo_roundtrips(self, capsys):
+        from repro.graph import module_from_text
+
+        main(["dump", "--app", "rnn0", "--batch", "1"])
+        text = capsys.readouterr().out
+        module = module_from_text(text)
+        assert module.name == "rnn0"
+
+    def test_dump_asm_reassembles(self, capsys):
+        from repro.isa import assemble
+
+        main(["dump", "--app", "cnn0", "--batch", "1", "--format", "asm"])
+        text = capsys.readouterr().out
+        program = assemble(text)
+        assert program.generation == 4
+        assert program.total_macs() > 0
+
+
+class TestProfile:
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--app", "cnn0", "--batch", "2",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "split:" in out
+        assert "simulated latency" in out

@@ -1,0 +1,52 @@
+"""Tests for compiler-vs-binary compatibility (Lesson 2, E13)."""
+
+import pytest
+
+from repro.arch import TPUV1, TPUV2, TPUV3, TPUV4I
+from repro.compiler import binary_runs_on, compile_model, migrate_model
+
+
+class TestBinaryPortability:
+    def test_binary_stays_home(self, tiny_mlp):
+        compiled = compile_model(tiny_mlp, TPUV3)
+        assert binary_runs_on(compiled, TPUV3)
+
+    def test_binary_never_crosses(self, tiny_mlp):
+        compiled = compile_model(tiny_mlp, TPUV3)
+        for target in (TPUV2, TPUV4I):
+            assert not binary_runs_on(compiled, target)
+
+
+class TestMigration:
+    def test_v3_to_v4i_recompiles(self, tiny_mlp):
+        report = migrate_model(tiny_mlp, TPUV3, TPUV4I)
+        assert not report.binary_portable
+        assert report.recompiled
+        assert report.retargeted_dtype is None
+        assert "recompile" in report.notes
+
+    def test_v3_to_v1_needs_quantization(self, tiny_mlp):
+        report = migrate_model(tiny_mlp, TPUV3, TPUV4I.variant(
+            "int8only", dtypes=("int8",), isa_version=4))
+        assert report.recompiled
+        assert report.retargeted_dtype == "int8"
+        assert "re-validated" in report.notes
+
+    def test_same_generation_binary_carries(self, tiny_mlp):
+        report = migrate_model(tiny_mlp, TPUV3, TPUV3)
+        assert report.binary_portable
+        assert "carries over" in report.notes
+
+    def test_v2_to_v3_upgrade_path(self, tiny_mlp):
+        report = migrate_model(tiny_mlp, TPUV2, TPUV3)
+        assert not report.binary_portable
+        assert report.recompiled
+
+    def test_full_cross_generation_matrix(self, tiny_mlp):
+        """Every (bf16-capable source, target) pair recompiles; none ports."""
+        chips = (TPUV2, TPUV3, TPUV4I)
+        for source in chips:
+            for target in chips:
+                report = migrate_model(tiny_mlp, source, target)
+                assert report.recompiled
+                assert report.binary_portable == (source is target)

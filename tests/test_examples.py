@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must keep running.
+
+Only the fast examples run here (the DSE/multichip ones take minutes and
+are exercised by the benchmarks); each is imported from its file and its
+``main()`` executed with stdout captured.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = ("quickstart", "deploy_artifact")
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_all_examples_have_main():
+    for path in EXAMPLES_DIR.glob("*.py"):
+        source = path.read_text()
+        assert "def main(" in source, f"{path.name} lacks main()"
+        assert '__main__' in source, f"{path.name} lacks entry point"
+        assert '"""' in source.split("\n", 1)[0] + source, \
+            f"{path.name} lacks a docstring"

@@ -1,0 +1,49 @@
+"""Tests for fleet sizing."""
+
+import pytest
+
+from repro.serving import Slo, plan_fleet
+from repro.workloads import app_by_name
+
+
+class TestPlanFleet:
+    def test_basic_plan(self, v4i_point):
+        plan = plan_fleet(v4i_point, app_by_name("cnn0"), 10_000.0)
+        assert plan.chips >= 1
+        assert plan.slo_batch >= 1
+        assert plan.fleet_tco_usd > 0
+        assert plan.cost_per_kqps_usd > 0
+
+    def test_chips_scale_with_target(self, v4i_point):
+        spec = app_by_name("cnn0")
+        small = plan_fleet(v4i_point, spec, 5_000.0)
+        large = plan_fleet(v4i_point, spec, 50_000.0)
+        assert large.chips > 5 * small.chips
+
+    def test_headroom_adds_chips(self, v4i_point):
+        spec = app_by_name("cnn0")
+        lean = plan_fleet(v4i_point, spec, 30_000.0, peak_headroom=1.0)
+        padded = plan_fleet(v4i_point, spec, 30_000.0, peak_headroom=2.0)
+        assert padded.chips > lean.chips
+
+    def test_v4i_cheaper_per_qps_than_v3(self, v4i_point, v3_point):
+        spec = app_by_name("bert0")
+        v4i = plan_fleet(v4i_point, spec, 20_000.0)
+        v3 = plan_fleet(v3_point, spec, 20_000.0)
+        assert v4i.cost_per_kqps_usd < v3.cost_per_kqps_usd
+
+    def test_impossible_slo_rejected(self, v4i_point):
+        with pytest.raises(ValueError, match="cannot meet"):
+            plan_fleet(v4i_point, app_by_name("cnn0"), 1000.0,
+                       slo=Slo(1e-6))
+
+    def test_bad_args(self, v4i_point):
+        spec = app_by_name("cnn0")
+        with pytest.raises(ValueError):
+            plan_fleet(v4i_point, spec, 0.0)
+        with pytest.raises(ValueError):
+            plan_fleet(v4i_point, spec, 100.0, peak_headroom=0.5)
+
+    def test_describe(self, v4i_point):
+        plan = plan_fleet(v4i_point, app_by_name("cnn0"), 10_000.0)
+        assert "chips" in plan.describe()

@@ -1,0 +1,74 @@
+"""Tests for the growth stress-test (Lesson 5)."""
+
+import pytest
+
+from repro.arch import TPUV4I
+from repro.core import DesignPoint
+from repro.workloads.future import (
+    deployment_lifetime,
+    scaled_transformer,
+)
+
+
+class TestScaledTransformer:
+    def test_year_zero_is_base(self):
+        model = scaled_transformer(0)
+        assert model.hidden == 768
+        assert model.layers == 12
+        assert model.growth_factor == 1.0
+
+    def test_parameters_track_growth(self):
+        base = scaled_transformer(0).build(1).total_weight_bytes()
+        grown = scaled_transformer(2).build(1).total_weight_bytes()
+        # Dense params target 2.25x; embeddings dilute the ratio a bit.
+        assert 1.6 < grown / base < 2.6
+
+    def test_width_and_depth_both_grow(self):
+        early = scaled_transformer(0)
+        late = scaled_transformer(4)
+        assert late.hidden > early.hidden
+        assert late.layers > early.layers
+
+    def test_heads_divide_hidden(self):
+        for years in range(5):
+            model = scaled_transformer(years)
+            assert model.hidden % model.heads == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaled_transformer(-1)
+        with pytest.raises(ValueError):
+            scaled_transformer(1, annual_rate=0.9)
+
+    def test_built_module_validates(self):
+        module = scaled_transformer(1).build(2)
+        module.validate()
+        assert module.total_flops() > 0
+
+
+class TestDeploymentLifetime:
+    def test_latency_grows_monotonically(self):
+        point = DesignPoint(TPUV4I)
+        entries = deployment_lifetime(point, slo_ms=15.0, batch=4,
+                                      max_years=2)
+        latencies = [e.latency_ms for e in entries]
+        assert latencies == sorted(latencies)
+
+    def test_qps_shrinks(self):
+        point = DesignPoint(TPUV4I)
+        entries = deployment_lifetime(point, slo_ms=15.0, batch=4,
+                                      max_years=2)
+        assert entries[-1].qps < entries[0].qps
+
+    def test_custom_deploy_hook(self):
+        point = DesignPoint(TPUV4I)
+        calls = []
+
+        def fake_deploy(module, batch):
+            calls.append(module.name)
+            return 0.001, 1000.0
+
+        entries = deployment_lifetime(point, slo_ms=15.0, batch=4,
+                                      max_years=1, deploy=fake_deploy)
+        assert len(calls) == 2
+        assert all(e.meets_slo for e in entries)

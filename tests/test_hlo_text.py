@@ -1,0 +1,113 @@
+"""Tests for the textual HLO format."""
+
+import pytest
+
+from repro.graph import (
+    GraphBuilder,
+    HloTextError,
+    Shape,
+    module_from_text,
+    module_to_text,
+)
+from repro.workloads import PRODUCTION_APPS, app_by_name
+
+from tests.conftest import make_tiny_mlp
+
+
+class TestRoundTrip:
+    def test_tiny_mlp(self, tiny_mlp):
+        text = module_to_text(tiny_mlp)
+        restored = module_from_text(text)
+        assert module_to_text(restored) == text
+        assert restored.total_flops() == tiny_mlp.total_flops()
+        assert restored.root.uid == tiny_mlp.root.uid
+
+    def test_attrs_survive(self):
+        b = GraphBuilder("m")
+        x = b.parameter(Shape((2, 8, 8, 4)), "img")
+        f = b.constant(Shape((3, 3, 4, 8)), "filt")
+        b.conv2d(x, f, stride=2, padding="valid")
+        restored = module_from_text(module_to_text(b.build()))
+        conv = restored.instructions[-1]
+        assert conv.attr("stride") == 2
+        assert conv.attr("padding") == "valid"
+
+    def test_tuple_attrs_survive(self):
+        b = GraphBuilder("m")
+        x = b.parameter(Shape((2, 3, 4)))
+        b.transpose(x, (2, 0, 1))
+        restored = module_from_text(module_to_text(b.build()))
+        assert restored.instructions[-1].attr("perm") == (2, 0, 1)
+
+    def test_every_production_app_roundtrips(self):
+        for spec in PRODUCTION_APPS:
+            module = spec.build(1)
+            text = module_to_text(module)
+            restored = module_from_text(text)
+            assert module_to_text(restored) == text
+
+    def test_parsed_module_compiles(self):
+        from repro.arch import TPUV4I
+        from repro.compiler import compile_model
+
+        module = module_from_text(module_to_text(app_by_name("cnn0").build(1)))
+        compiled = compile_model(module, TPUV4I)
+        assert len(compiled.program) > 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+# a comment
+hlo_module tiny {
+
+  %0 = parameter() : bf16[2,2] "x"  # trailing comment
+  %1 = relu(%0) : bf16[2,2]
+  root %1
+}
+"""
+        module = module_from_text(text)
+        assert module.name == "tiny"
+        assert len(module.instructions) == 2
+
+
+class TestErrors:
+    def test_missing_header(self):
+        with pytest.raises(HloTextError, match="hlo_module"):
+            module_from_text("%0 = parameter() : bf16[1]\n")
+
+    def test_missing_close(self):
+        with pytest.raises(HloTextError, match="closing"):
+            module_from_text("hlo_module m {\n  %0 = parameter() : bf16[1]\n")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(HloTextError, match="line 2"):
+            module_from_text(
+                "hlo_module m {\n  %0 = quantum() : bf16[1]\n}\n")
+
+    def test_forward_reference(self):
+        with pytest.raises(HloTextError, match="before definition"):
+            module_from_text(
+                "hlo_module m {\n  %0 = relu(%1) : bf16[1]\n}\n")
+
+    def test_uid_gap(self):
+        with pytest.raises(HloTextError, match="expected %0"):
+            module_from_text(
+                "hlo_module m {\n  %5 = parameter() : bf16[1]\n}\n")
+
+    def test_undefined_root(self):
+        with pytest.raises(HloTextError, match="root"):
+            module_from_text(
+                "hlo_module m {\n  %0 = parameter() : bf16[1]\n  root %9\n}\n")
+
+    def test_bad_dtype(self):
+        with pytest.raises(HloTextError):
+            module_from_text(
+                "hlo_module m {\n  %0 = parameter() : fp64[1]\n}\n")
+
+    def test_content_after_close(self):
+        with pytest.raises(HloTextError, match="after closing"):
+            module_from_text(
+                "hlo_module m {\n  %0 = parameter() : bf16[1]\n}\nextra\n")
+
+    def test_garbled_line(self):
+        with pytest.raises(HloTextError, match="cannot parse"):
+            module_from_text("hlo_module m {\n  banana\n}\n")

@@ -1,0 +1,64 @@
+"""Tests for the inter-chip interconnect model."""
+
+import pytest
+
+from repro.arch import IciLink, IciNetwork, TPUV1, TPUV4I
+from repro.util.units import GIGA, MIB
+
+
+class TestLink:
+    def test_transfer_time(self):
+        link = IciLink(bandwidth=100 * GIGA, latency_s=1e-6)
+        assert link.transfer_seconds(100 * GIGA) == pytest.approx(1.0, rel=1e-4)
+
+    def test_latency_floor(self):
+        link = IciLink(bandwidth=100 * GIGA, latency_s=1e-6)
+        assert link.transfer_seconds(0) == pytest.approx(1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IciLink(0)
+        with pytest.raises(ValueError):
+            IciLink(1.0).transfer_seconds(-1)
+
+
+class TestNetwork:
+    def test_single_chip_free(self):
+        net = IciNetwork(TPUV4I, 1)
+        assert net.all_reduce_seconds(1 * MIB) == 0.0
+        assert net.point_to_point_seconds(1 * MIB) == 0.0
+
+    def test_tpuv1_cannot_form_rings(self):
+        with pytest.raises(ValueError):
+            IciNetwork(TPUV1, 2)
+        assert IciNetwork(TPUV1, 1).num_chips == 1
+
+    def test_all_reduce_scales_with_bytes(self):
+        net = IciNetwork(TPUV4I, 4)
+        assert net.all_reduce_seconds(64 * MIB) > net.all_reduce_seconds(1 * MIB)
+
+    def test_all_reduce_steps(self):
+        """Ring all-reduce moves 2(p-1)/p of the payload per link."""
+        net = IciNetwork(TPUV4I, 4)
+        payload = 64 * MIB
+        expected = 6 * (1e-6 + (payload / 4) / TPUV4I.ici_link_bw)
+        assert net.all_reduce_seconds(payload) == pytest.approx(expected)
+
+    def test_hops_validated(self):
+        net = IciNetwork(TPUV4I, 4)
+        with pytest.raises(ValueError):
+            net.point_to_point_seconds(1024, hops=3)  # max is 2 on a 4-ring
+
+    def test_sharding(self):
+        net = IciNetwork(TPUV4I, 4)
+        assert net.sharded_weight_bytes(100) == 25
+        assert net.sharded_weight_bytes(101) == 26
+
+    def test_all_gather(self):
+        net = IciNetwork(TPUV4I, 4)
+        assert net.all_gather_seconds(1 * MIB) == pytest.approx(
+            3 * (1e-6 + 1 * MIB / TPUV4I.ici_link_bw))
+
+    def test_num_chips_validated(self):
+        with pytest.raises(ValueError):
+            IciNetwork(TPUV4I, 0)

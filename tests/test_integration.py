@@ -1,0 +1,145 @@
+"""Cross-module integration tests: the paper's claims end to end."""
+
+import math
+
+import pytest
+
+from repro.arch import GENERATIONS, TPUV2, TPUV3, TPUV4I
+from repro.compiler import RELEASES, compile_model, migrate_model
+from repro.core import DesignPoint
+from repro.roofline import place_module
+from repro.serving import BatchPolicy, ServingSimulator, Slo
+from repro.tco import chip_tco, perf_per_tco
+from repro.workloads import PRODUCTION_APPS, RequestGenerator, app_by_name
+
+FAST_APPS = ("mlp0", "cnn0", "rnn0", "bert0")
+
+
+class TestHeadlineClaims:
+    """Each test pins one paper-level claim the benchmarks print in full."""
+
+    def test_v4i_faster_than_v3_per_chip(self, v4i_point, v3_point):
+        """E8 shape: modest per-chip perf win (~1.1-1.3x)."""
+        ratios = []
+        for name in FAST_APPS:
+            spec = app_by_name(name)
+            v4i = v4i_point.evaluate(spec)
+            v3 = v3_point.evaluate(spec)
+            ratios.append(v4i.chip_qps / v3.chip_qps)
+        geomean = math.prod(ratios) ** (1 / len(ratios))
+        assert 1.0 < geomean < 1.6
+
+    def test_v4i_perf_per_watt_win_is_big(self, v4i_point, v3_point):
+        """E8 shape: ~2x+ perf/W from 7nm + air-cooled design point."""
+        ratios = []
+        for name in FAST_APPS:
+            spec = app_by_name(name)
+            ratios.append(v4i_point.evaluate(spec).samples_per_joule
+                          / v3_point.evaluate(spec).samples_per_joule)
+        geomean = math.prod(ratios) ** (1 / len(ratios))
+        assert geomean > 2.0
+
+    def test_compiler_gains_fifteen_months(self, v4i_point):
+        """E9 shape: geomean ~1.5-2.5x from compiler releases alone."""
+        gains = []
+        for name in FAST_APPS:
+            spec = app_by_name(name)
+            module = spec.build(spec.default_batch)
+            sim = v4i_point.sim
+            first = sim.run(compile_model(module, TPUV4I,
+                                          version=RELEASES[0]).program).seconds
+            last = v4i_point.latency_s(spec, spec.default_batch)
+            gains.append(first / last)
+        geomean = math.prod(gains) ** (1 / len(gains))
+        assert 1.5 < geomean < 2.6
+        assert all(g >= 0.99 for g in gains)
+
+    def test_every_app_meets_its_slo_on_v4i(self, v4i_point):
+        """The production fleet is deployable: each app has a feasible batch."""
+        for spec in PRODUCTION_APPS:
+            batch = v4i_point.max_batch_under_slo(spec, spec.slo_ms / 1e3,
+                                                  candidates=(1, 4, 8, 16))
+            assert batch >= 1, spec.name
+
+    def test_latency_not_batch_limits(self, v4i_point):
+        """L9: the SLO binds before any architectural batch limit."""
+        spec = app_by_name("cnn0")
+        server = ServingSimulator(v4i_point, spec,
+                                  BatchPolicy(max_batch=256, max_wait_s=0.001),
+                                  Slo(spec.slo_ms / 1e3))
+        slo_batch = server.max_slo_batch()
+        assert slo_batch < 256  # hardware would take more; the SLO says no
+
+    def test_roofline_agrees_with_simulator(self, v4i_point):
+        """Apps the HBM roofline calls memory-bound are the CMEM-sensitive
+        ones in the simulator; compute-bound apps are CMEM-insensitive.
+        This is exactly the paper's CMEM argument."""
+        mlp = app_by_name("mlp0")
+        cnn = app_by_name("cnn0")
+        mlp_point = place_module(mlp.build(mlp.default_batch), TPUV4I)
+        cnn_point = place_module(cnn.build(cnn.default_batch), TPUV4I)
+        assert mlp_point.memory_bound_hbm and not cnn_point.memory_bound_hbm
+
+        def cmem_gain(spec):
+            without = v4i_point.latency_s(spec, spec.default_batch,
+                                          cmem_budget_bytes=0)
+            with_cmem = v4i_point.latency_s(spec, spec.default_batch)
+            return without / with_cmem
+
+        assert cmem_gain(mlp) > 1.2       # memory-bound: CMEM matters
+        assert cmem_gain(cnn) < cmem_gain(mlp)  # compute-bound: less so
+
+    def test_perf_per_tco_favors_v4i(self, v4i_point, v3_point):
+        """L3: the inference chip wins where it was designed to win."""
+        spec = app_by_name("bert0")
+        v4i_ev = v4i_point.evaluate(spec)
+        v3_ev = v3_point.evaluate(spec)
+        v4i_score = perf_per_tco(v4i_ev.chip_qps,
+                                 chip_tco(TPUV4I, v4i_ev.chip_power_w))
+        v3_score = perf_per_tco(v3_ev.chip_qps,
+                                chip_tco(TPUV3, v3_ev.chip_power_w))
+        assert v4i_score > 1.5 * v3_score
+
+    def test_migration_story_end_to_end(self):
+        """L2: a trained model moves v2 -> v3 -> v4i by recompilation only."""
+        module = app_by_name("cnn0").build(1)
+        hops = [(TPUV2, TPUV3), (TPUV3, TPUV4I)]
+        for source, target in hops:
+            report = migrate_model(module, source, target)
+            assert report.recompiled and not report.binary_portable
+
+    def test_serving_pipeline_end_to_end(self, v4i_point):
+        """Traffic -> batcher -> simulator -> SLO accounting, all wired."""
+        spec = app_by_name("bert0")
+        server = ServingSimulator(v4i_point, spec,
+                                  BatchPolicy(max_batch=8, max_wait_s=0.002),
+                                  Slo(spec.slo_ms / 1e3))
+        stats = server.simulate(RequestGenerator(42).poisson("b", 200, 2.0))
+        assert stats.slo_violation_fraction < 0.05
+        assert stats.p99_s < 3 * spec.slo_ms / 1e3
+
+
+class TestGenerationSweep:
+    def test_all_generations_evaluate_cnn0(self):
+        """Every chip in Table 1 runs the vision app (int8 on TPUv1)."""
+        from repro.compiler.pipeline import retarget_dtype
+        from repro.sim import TensorCoreSim
+
+        spec = app_by_name("cnn0")
+        module = spec.build(4)
+        for chip in GENERATIONS:
+            if chip.supports_dtype("bf16"):
+                compiled = compile_model(module, chip)
+                result = TensorCoreSim(chip).run(compiled.program)
+            else:
+                compiled = compile_model(retarget_dtype(module, "int8"), chip)
+                result = TensorCoreSim(chip).run(compiled.program,
+                                                 dtype="int8")
+            assert result.seconds > 0
+
+    def test_peak_throughput_improves_across_bf16_generations(self):
+        qps = []
+        spec = app_by_name("cnn0")
+        for chip in (TPUV2, TPUV3, TPUV4I):
+            qps.append(DesignPoint(chip).evaluate(spec, batch=8).chip_qps)
+        assert qps[0] < qps[1] < qps[2]

@@ -1,0 +1,52 @@
+"""Tests for backwards ML compatibility (Lesson 10, E14)."""
+
+import pytest
+
+from repro.arch import TPUV1, TPUV2, TPUV3, TPUV4I
+from repro.mlcompat import check_numerics_match, deployment_readiness
+
+
+class TestNumericsMatch:
+    def test_bf16_bit_exact_v3_to_v4i(self):
+        """The lesson's core claim: trainer and server agree on bits."""
+        check = check_numerics_match(TPUV3, TPUV4I, "bf16")
+        assert check.bit_exact
+        assert check.est_quality_loss_pct == 0.0
+        assert check.deployable_without_validation
+
+    def test_bf16_bit_exact_v2_to_v4i(self):
+        assert check_numerics_match(TPUV2, TPUV4I, "bf16").bit_exact
+
+    def test_int8_path_needs_calibration(self):
+        check = check_numerics_match(TPUV3, TPUV4I, "int8")
+        assert not check.bit_exact
+        assert check.needs_calibration
+        assert not check.deployable_without_validation
+        assert check.est_quality_loss_pct >= 0.0
+
+    def test_int8_snr_finite(self):
+        check = check_numerics_match(TPUV3, TPUV4I, "int8")
+        assert 10 < check.snr_db < 60
+
+    def test_tpuv1_target_cannot_run_bf16(self):
+        with pytest.raises(ValueError):
+            check_numerics_match(TPUV3, TPUV1, "bf16")
+
+    def test_deterministic_given_seed(self):
+        a = check_numerics_match(TPUV3, TPUV4I, "int8", seed=1)
+        b = check_numerics_match(TPUV3, TPUV4I, "int8", seed=1)
+        assert a.snr_db == b.snr_db
+
+
+class TestReadiness:
+    def test_summary_counts(self):
+        checks = [check_numerics_match(TPUV3, TPUV4I, "bf16"),
+                  check_numerics_match(TPUV3, TPUV4I, "int8")]
+        summary = deployment_readiness(checks)
+        assert summary["models"] == 2
+        assert summary["deploy_as_is"] == 1
+        assert summary["need_calibration"] == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            deployment_readiness([])

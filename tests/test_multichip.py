@@ -1,0 +1,99 @@
+"""Tests for pipeline-parallel multi-chip deployment."""
+
+import pytest
+
+from repro.arch import TPUV1, TPUV4I
+from repro.core import PipelineDeployment, partition_module
+from repro.workloads import app_by_name
+
+from tests.conftest import make_tiny_mlp
+
+
+class TestPartition:
+    def test_single_stage_is_identity(self, tiny_mlp):
+        stages, boundaries = partition_module(tiny_mlp, 1)
+        assert stages == [tiny_mlp]
+        assert boundaries == [0]
+
+    def test_two_stages_validate_and_cover_flops(self):
+        module = app_by_name("bert0").build(2)
+        stages, boundaries = partition_module(module, 2)
+        assert len(stages) == 2
+        for stage in stages:
+            stage.validate()
+        total = sum(s.total_flops() for s in stages)
+        assert total == pytest.approx(module.total_flops(), rel=0.01)
+
+    def test_stages_are_roughly_balanced(self):
+        module = app_by_name("bert0").build(2)
+        stages, _ = partition_module(module, 4)
+        flops = [s.total_flops() for s in stages]
+        assert max(flops) < 2.5 * min(flops)
+
+    def test_boundary_traffic_positive_after_first(self):
+        module = app_by_name("cnn0").build(2)
+        _, boundaries = partition_module(module, 2)
+        assert boundaries[0] == 0
+        assert boundaries[1] > 0
+
+    def test_weights_partition_across_stages(self):
+        module = app_by_name("rnn1").build(2)
+        stages, _ = partition_module(module, 4)
+        per_stage = [s.total_weight_bytes() for s in stages]
+        # Each stage holds a strict subset of the weights.
+        assert all(0 < w < module.total_weight_bytes() for w in per_stage)
+        # Replication (a layer whose consumers span a boundary copies its
+        # weights into both stages) stays bounded.
+        assert sum(per_stage) < 2.0 * module.total_weight_bytes()
+
+    def test_too_many_stages_rejected(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            partition_module(tiny_mlp, 64)
+
+    def test_zero_stages_rejected(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            partition_module(tiny_mlp, 0)
+
+
+class TestDeployment:
+    def test_single_chip_matches_direct_sim(self):
+        spec = app_by_name("bert0")
+        deployment = PipelineDeployment()
+        report = deployment.deploy(spec.build(4), 1, 4)
+        assert report.num_chips == 1
+        assert report.request_latency_s > 0
+        assert report.stages[0].inbound_transfer_s == 0.0
+
+    def test_throughput_scales_with_chips(self):
+        spec = app_by_name("bert0")
+        deployment = PipelineDeployment()
+        reports = deployment.scaling_study(spec.build, 4, (1, 2))
+        assert reports[1].throughput_qps > 1.5 * reports[0].throughput_qps
+
+    def test_cmem_overflow_model_scales_superlinearly(self):
+        """The headline multi-chip effect: slices newly fit CMEM."""
+        spec = app_by_name("rnn1")
+        deployment = PipelineDeployment()
+        reports = deployment.scaling_study(spec.build, spec.default_batch,
+                                           (1, 2))
+        speedup = reports[1].throughput_qps / reports[0].throughput_qps
+        assert speedup > 2.0
+        assert reports[1].min_cmem_hit > reports[0].min_cmem_hit
+
+    def test_latency_does_not_explode(self):
+        spec = app_by_name("bert0")
+        deployment = PipelineDeployment()
+        one = deployment.deploy(spec.build(4), 1, 4)
+        four = deployment.deploy(spec.build(4), 4, 4)
+        assert four.request_latency_s < 1.5 * one.request_latency_s
+
+    def test_no_ici_chip_rejected(self):
+        deployment = PipelineDeployment(TPUV1)
+        quantized = make_tiny_mlp()
+        with pytest.raises(ValueError):
+            deployment.deploy(quantized, 2, 4)
+
+    def test_describe(self):
+        spec = app_by_name("cnn0")
+        report = PipelineDeployment().deploy(spec.build(2), 2, 2)
+        assert "2x TPUv4i" in report.describe()

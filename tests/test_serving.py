@@ -1,0 +1,186 @@
+"""Tests for SLOs, batching, the serving simulator (L9), and multi-tenancy (L4)."""
+
+import pytest
+
+from repro.serving import (
+    BatchPolicy,
+    MultiTenantSim,
+    ServingSimulator,
+    Slo,
+    Tenant,
+    partition_cmem,
+    percentile,
+)
+from repro.workloads import RequestGenerator, app_by_name
+
+
+class TestPercentileAndSlo:
+    def test_nearest_rank(self):
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile([1, 2, 3, 4], 100) == 4
+        assert percentile([5], 99) == 5
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 0)
+
+    def test_slo_met(self):
+        slo = Slo(limit_s=0.010, pct=99)
+        assert slo.met_by([0.001] * 99 + [0.009])
+        assert not slo.met_by([0.001] * 90 + [0.020] * 10)
+
+    def test_violation_fraction(self):
+        slo = Slo(0.010)
+        assert slo.violation_fraction([0.005, 0.015]) == 0.5
+        assert slo.violation_fraction([]) == 0.0
+
+    def test_slo_validation(self):
+        with pytest.raises(ValueError):
+            Slo(0)
+        with pytest.raises(ValueError):
+            Slo(1.0, pct=101)
+
+
+class TestBatchPolicy:
+    def test_padded_size_rounds_up(self):
+        policy = BatchPolicy(max_batch=64, max_wait_s=0.001)
+        assert policy.padded_size(3) == 4
+        assert policy.padded_size(33) == 64
+        assert policy.padded_size(1) == 1
+
+    def test_padded_capped_at_max(self):
+        policy = BatchPolicy(max_batch=24, max_wait_s=0.0)
+        assert policy.padded_size(100) == 24
+
+    def test_batch_steps_include_max(self):
+        assert BatchPolicy.batch_steps(24) == (1, 2, 4, 8, 16, 24)
+        assert BatchPolicy.batch_steps(16)[-1] == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchPolicy(0, 0.0)
+        with pytest.raises(ValueError):
+            BatchPolicy(1, -0.1)
+
+
+@pytest.fixture(scope="module")
+def cnn_server(v4i_point_module):
+    spec = app_by_name("cnn0")
+    return ServingSimulator(
+        v4i_point_module, spec,
+        BatchPolicy(max_batch=16, max_wait_s=0.002),
+        Slo(spec.slo_ms / 1e3))
+
+
+@pytest.fixture(scope="module")
+def v4i_point_module():
+    from repro.arch import TPUV4I
+    from repro.core import DesignPoint
+
+    return DesignPoint(TPUV4I)
+
+
+class TestServingSimulator:
+    def test_latency_exceeds_compute_floor(self, cnn_server):
+        reqs = RequestGenerator(1).poisson("cnn0", 200, 2.0)
+        stats = cnn_server.simulate(reqs)
+        assert stats.p50_s >= cnn_server.batch_latency_s(1) * 0.99
+        assert stats.requests == len(reqs)
+
+    def test_higher_load_bigger_batches(self, cnn_server):
+        low = cnn_server.simulate(RequestGenerator(2).poisson("c", 50, 2.0))
+        high = cnn_server.simulate(RequestGenerator(2).poisson("c", 2000, 2.0))
+        assert high.mean_batch > low.mean_batch
+
+    def test_higher_load_worse_latency(self, cnn_server):
+        low = cnn_server.simulate(RequestGenerator(3).poisson("c", 50, 2.0))
+        high = cnn_server.simulate(RequestGenerator(3).poisson("c", 2500, 2.0))
+        assert high.p99_s > low.p99_s
+
+    def test_percentiles_ordered(self, cnn_server):
+        stats = cnn_server.simulate(RequestGenerator(4).poisson("c", 300, 2.0))
+        assert stats.p50_s <= stats.p95_s <= stats.p99_s
+
+    def test_throughput_tracks_offered_load(self, cnn_server):
+        stats = cnn_server.simulate(RequestGenerator(5).poisson("c", 400, 3.0))
+        assert stats.throughput_qps == pytest.approx(400, rel=0.15)
+
+    def test_max_slo_batch_is_lesson9(self, cnn_server):
+        """The SLO, not the hardware, caps the usable batch."""
+        batch = cnn_server.max_slo_batch()
+        assert 1 <= batch <= 16
+
+    def test_empty_stream_rejected(self, cnn_server):
+        with pytest.raises(ValueError):
+            cnn_server.simulate([])
+
+    def test_unsorted_stream_rejected(self, cnn_server):
+        from repro.workloads import Request
+
+        with pytest.raises(ValueError):
+            cnn_server.simulate([Request(1.0, "c"), Request(0.5, "c")])
+
+
+class TestMultiTenancy:
+    def _sim(self, point):
+        tenants = [Tenant(app_by_name("cnn0"), 50),
+                   Tenant(app_by_name("rnn0"), 50)]
+        return MultiTenantSim(point, tenants), tenants
+
+    def test_partition_splits_proportionally(self, v4i_point_module):
+        sim, tenants = self._sim(v4i_point_module)
+        budgets = partition_cmem(v4i_point_module, tenants)
+        total = sum(budgets.values())
+        assert total <= v4i_point_module.chip.cmem_bytes
+        assert budgets["rnn0"] > budgets["cnn0"]  # bigger weights
+
+    def test_swap_costs_time(self, v4i_point_module):
+        sim, _ = self._sim(v4i_point_module)
+        reqs = RequestGenerator(7).multi_tenant(["cnn0", "rnn0"], [30, 30], 2.0)
+        swap = sim.simulate(reqs, "swap")
+        part = sim.simulate(reqs, "partition")
+        assert swap.swap_count > 0
+        assert part.swap_count == 0
+        assert swap.swap_seconds_total > 0
+
+    def test_partition_beats_swap_on_interleaved_traffic(self, v4i_point_module):
+        """Lesson 4's quantitative form."""
+        sim, _ = self._sim(v4i_point_module)
+        reqs = RequestGenerator(8).multi_tenant(["cnn0", "rnn0"], [40, 40], 2.0)
+        swap = sim.simulate(reqs, "swap")
+        part = sim.simulate(reqs, "partition")
+        assert part.mean_latency_s < swap.mean_latency_s
+
+    def test_host_swap_is_catastrophic(self, v4i_point_module):
+        """Without provisioned co-residency, PCIe weight reloads dominate."""
+        sim, _ = self._sim(v4i_point_module)
+        reqs = RequestGenerator(8).multi_tenant(["cnn0", "rnn0"], [40, 40], 2.0)
+        host = sim.simulate(reqs, "swap_host")
+        swap = sim.simulate(reqs, "swap")
+        assert host.p99_s > 3 * swap.p99_s
+        assert host.swap_seconds_total > 10 * swap.swap_seconds_total
+
+    def test_duplicate_tenants_rejected(self, v4i_point_module):
+        with pytest.raises(ValueError):
+            MultiTenantSim(v4i_point_module,
+                           [Tenant(app_by_name("cnn0"), 1),
+                            Tenant(app_by_name("cnn0"), 1)])
+
+    def test_unknown_policy_rejected(self, v4i_point_module):
+        sim, _ = self._sim(v4i_point_module)
+        reqs = RequestGenerator(9).multi_tenant(["cnn0", "rnn0"], [10, 10], 1.0)
+        with pytest.raises(ValueError):
+            sim.simulate(reqs, "magic")
+
+    def test_unknown_tenant_request_rejected(self, v4i_point_module):
+        from repro.workloads import Request
+
+        sim, _ = self._sim(v4i_point_module)
+        with pytest.raises(KeyError):
+            sim.simulate([Request(0.0, "bert0")], "swap")
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            Tenant(app_by_name("cnn0"), 0)

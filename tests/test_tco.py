@@ -1,0 +1,106 @@
+"""Tests for the TCO model (Lesson 3, E12)."""
+
+import pytest
+
+from repro.arch import TPUV1, TPUV3, TPUV4I
+from repro.tco import (
+    ChipTco,
+    chip_capex_usd,
+    chip_opex_usd,
+    chip_tco,
+    die_cost_usd,
+    die_yield,
+    dies_per_wafer,
+    perf_per_tco,
+)
+from repro.tco.model import rank_designs
+from repro.tco.opex import OpexParams, average_wall_power_w
+from repro.tech import node_by_name
+
+
+class TestCapex:
+    def test_dies_per_wafer_decreases_with_area(self):
+        assert dies_per_wafer(100) > dies_per_wafer(400) > dies_per_wafer(800)
+
+    def test_yield_decreases_with_area(self):
+        node = node_by_name("7nm")
+        assert die_yield(node, 100) > die_yield(node, 600)
+
+    def test_yield_in_unit_range(self):
+        for name in ("28nm", "16nm", "7nm"):
+            y = die_yield(node_by_name(name), 400)
+            assert 0 < y < 1
+
+    def test_bigger_die_costs_more(self):
+        node = node_by_name("16nm")
+        assert die_cost_usd(node, 600) > 2 * die_cost_usd(node, 300)
+
+    def test_leading_edge_die_costs_more(self):
+        assert (die_cost_usd(node_by_name("7nm"), 400)
+                > die_cost_usd(node_by_name("16nm"), 400))
+
+    def test_chip_capex_ordering(self):
+        """v3 (huge 16nm die + liquid) costs more than v4i to buy."""
+        assert chip_capex_usd(TPUV3) > chip_capex_usd(TPUV4I)
+
+    def test_v1_cheap_memory(self):
+        assert chip_capex_usd(TPUV1) < chip_capex_usd(TPUV4I)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dies_per_wafer(0)
+
+
+class TestOpex:
+    def test_wall_power_exceeds_chip_power(self):
+        wall = average_wall_power_w(TPUV4I, 120.0, OpexParams())
+        assert wall > 0.55 * 120.0  # PUE + cooling overhead over duty cycle
+
+    def test_higher_power_higher_opex(self):
+        assert chip_opex_usd(TPUV3, 300.0) > chip_opex_usd(TPUV4I, 120.0)
+
+    def test_longer_life_higher_opex(self):
+        short = chip_opex_usd(TPUV4I, 120.0, OpexParams(years=1))
+        long = chip_opex_usd(TPUV4I, 120.0, OpexParams(years=5))
+        assert long > 3 * short
+
+    def test_params_validated(self):
+        with pytest.raises(ValueError):
+            OpexParams(years=0)
+        with pytest.raises(ValueError):
+            OpexParams(utilization=0)
+
+
+class TestTcoModel:
+    def test_total_and_share(self):
+        tco = ChipTco("x", capex_usd=1000.0, opex_usd=500.0)
+        assert tco.total_usd == 1500.0
+        assert tco.opex_share == pytest.approx(1 / 3)
+
+    def test_chip_tco_combines(self):
+        tco = chip_tco(TPUV4I, 120.0)
+        assert tco.capex_usd > 0 and tco.opex_usd > 0
+
+    def test_opex_is_material(self):
+        """Lesson 3 premise: lifetime power is not a rounding error."""
+        tco = chip_tco(TPUV3, 350.0)
+        assert tco.opex_share > 0.3
+
+    def test_perf_per_tco(self):
+        tco = ChipTco("x", 1000.0, 1000.0)
+        assert perf_per_tco(2000.0, tco) == 1.0
+        with pytest.raises(ValueError):
+            perf_per_tco(-1.0, tco)
+
+    def test_rank_designs_can_reorder(self):
+        """A cheap hot chip can win on CapEx and lose on TCO."""
+        qps = {"hot": 1100.0, "cool": 1000.0}
+        tcos = [ChipTco("hot", capex_usd=500.0, opex_usd=2000.0),
+                ChipTco("cool", capex_usd=600.0, opex_usd=500.0)]
+        ranking = rank_designs(qps, tcos)
+        assert ranking["by_capex"][0] == "hot"
+        assert ranking["by_tco"][0] == "cool"
+
+    def test_rank_missing_tco_rejected(self):
+        with pytest.raises(ValueError):
+            rank_designs({"x": 1.0}, [])

@@ -1,0 +1,86 @@
+"""Tests for the transient thermal / throttling model."""
+
+import pytest
+
+from repro.arch import AIR_COOLING, LIQUID_COOLING, TPUV4I
+from repro.arch.thermal import (
+    RECOVERY_TEMP_C,
+    THROTTLE_TEMP_C,
+    ThermalModel,
+)
+
+
+@pytest.fixture()
+def air_model():
+    return ThermalModel(TPUV4I, cooling=AIR_COOLING)
+
+
+class TestSteadyState:
+    def test_v4i_never_throttles_on_air(self, air_model):
+        """Lesson 8's design point: 175 W sustains full clock on air."""
+        assert air_model.sustained_frequency_factor(175.0) == 1.0
+
+    def test_hot_design_throttles_on_air(self, air_model):
+        assert air_model.sustained_frequency_factor(320.0) < 0.9
+
+    def test_liquid_never_throttles_these_powers(self):
+        model = ThermalModel(TPUV4I, cooling=LIQUID_COOLING)
+        for power in (175.0, 320.0, 450.0):
+            assert model.sustained_frequency_factor(power) == 1.0
+
+    def test_sustained_factor_monotone_in_power(self, air_model):
+        factors = [air_model.sustained_frequency_factor(p)
+                   for p in (150, 250, 350, 450)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_power_at_frequency_cubic(self, air_model):
+        full = air_model.power_at_frequency(175.0, 1.0)
+        half = air_model.power_at_frequency(175.0, 0.5)
+        dynamic = 175.0 - TPUV4I.idle_w
+        assert full == pytest.approx(175.0)
+        assert half == pytest.approx(TPUV4I.idle_w + dynamic / 8)
+
+    def test_validation(self, air_model):
+        with pytest.raises(ValueError):
+            air_model.power_at_frequency(100.0, 0.0)
+        with pytest.raises(ValueError):
+            air_model.sustained_frequency_factor(-1.0)
+        with pytest.raises(ValueError):
+            ThermalModel(TPUV4I, time_constant_s=0)
+
+
+class TestTransient:
+    def test_temperature_rises_toward_steady_state(self, air_model):
+        samples = air_model.simulate([175.0] * 300, dt_s=0.1)
+        assert samples[0].junction_c < samples[-1].junction_c
+        steady = air_model.steady_junction_c(175.0)
+        assert samples[-1].junction_c == pytest.approx(steady, abs=1.0)
+
+    def test_cool_start_runs_full_speed(self, air_model):
+        samples = air_model.simulate([175.0] * 10, dt_s=0.1)
+        assert all(s.freq_factor == 1.0 for s in samples)
+
+    def test_hot_design_throttles_then_recovers(self):
+        chip = TPUV4I.variant("hot", tdp_w=320.0, cooling="liquid")
+        model = ThermalModel(chip, cooling=AIR_COOLING)
+        trace = [320.0] * 600 + [chip.idle_w] * 600
+        samples = model.simulate(trace, dt_s=0.1)
+        assert any(s.throttled for s in samples[:600])
+        assert not samples[-1].throttled  # recovered during the idle tail
+        assert max(s.junction_c for s in samples) < THROTTLE_TEMP_C + 10
+
+    def test_governor_hysteresis(self):
+        """Between recovery and throttle temps, frequency holds steady."""
+        assert RECOVERY_TEMP_C < THROTTLE_TEMP_C
+
+    def test_delivered_fraction(self, air_model):
+        samples = air_model.simulate([175.0] * 50, dt_s=0.1)
+        assert ThermalModel.delivered_fraction(samples) == 1.0
+        with pytest.raises(ValueError):
+            ThermalModel.delivered_fraction([])
+
+    def test_bad_trace_rejected(self, air_model):
+        with pytest.raises(ValueError):
+            air_model.simulate([-5.0])
+        with pytest.raises(ValueError):
+            air_model.simulate([100.0], dt_s=0)
