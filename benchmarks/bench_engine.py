@@ -1,0 +1,37 @@
+"""BENCH: the evaluation engine itself (serial vs parallel vs warm).
+
+Times the default DSE sweep (``enumerate_candidates`` x
+``DEFAULT_DSE_APPS``) through four paths — pre-engine serial, engine
+serial cold, engine parallel cold, and warm cache — asserts they produce
+identical candidates, and writes the record to ``BENCH_engine.json`` at
+the repository root so the speedup is tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.engine.bench import (
+    render_benchmark,
+    run_engine_benchmark,
+    write_benchmark,
+)
+
+from benchmarks.conftest import record, run_once
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def test_engine_benchmark(benchmark):
+    result = run_once(benchmark, lambda: run_engine_benchmark(workers=2))
+    text = render_benchmark(result)
+    record("BENCH_engine", text)
+    write_benchmark(result, REPO_ROOT / "BENCH_engine.json")
+
+    assert result["deterministic"], (
+        "parallel/cached sweeps must match the serial path bit for bit")
+    # Warm cache must make the sweep at least 5x cheaper than cold.
+    assert result["serial_cold_s"] >= 5 * result["warm_s"]
+    # The engine's cold sweep must not lose to the pre-engine serial path
+    # (on multi-core machines the parallel margin is much larger).
+    assert result["parallel_cold_s"] < result["serial_cold_s"]

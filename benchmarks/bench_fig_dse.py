@@ -7,16 +7,18 @@ on the frontier; 8-MXU designs bust the air envelope or waste MXUs on
 memory-bound apps.
 """
 
-from repro.core import enumerate_candidates, evaluate_candidate, pareto_frontier
+from repro.core import enumerate_candidates, evaluate_candidates, pareto_frontier
 from repro.util.tables import Table
 
 from benchmarks.conftest import record, run_once
 
 
 def build_figure() -> str:
-    candidates = [evaluate_candidate(chip)
-                  for chip in enumerate_candidates(
-                      mxu_counts=(2, 4, 8), cmem_mib_options=(0, 64, 128))]
+    # Fan the grid out over the engine's process pool (sized to the
+    # machine); results are identical to the serial loop, in order.
+    candidates = evaluate_candidates(
+        enumerate_candidates(mxu_counts=(2, 4, 8),
+                             cmem_mib_options=(0, 64, 128)))
     frontier = set(id(c) for c in pareto_frontier(candidates))
     table = Table([
         "config", "geomean qps", "TDP est W", "air-coolable", "die mm2 est",

@@ -4,8 +4,12 @@ Every benchmark regenerates one table/figure of the paper. The rendered
 text goes to stdout *and* to ``benchmarks/artifacts/<experiment>.txt`` so
 EXPERIMENTS.md can quote the measured output verbatim.
 
-DesignPoints are session-scoped: compile/simulate results are memoized
-inside them, so expensive workloads are evaluated once across the suite.
+DesignPoints are session-scoped, and all evaluation routes through the
+shared engine (:mod:`repro.engine`): results are memoized in the
+process-global EvalCache, so expensive workloads are evaluated once
+across the whole suite — and, with ``REPRO_CACHE_DIR`` set, once across
+*invocations* of the suite. The cache's hit/miss counters are written to
+``artifacts/engine_cache_stats.txt`` at session end.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import pytest
 
 from repro.arch import TPUV1, TPUV2, TPUV3, TPUV4I
 from repro.core import DesignPoint
+from repro.engine import get_cache
 
 ARTIFACT_DIR = pathlib.Path(__file__).parent / "artifacts"
 
@@ -47,3 +52,10 @@ def v2_point() -> DesignPoint:
 def run_once(benchmark, func):
     """Run a bench body exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Record the engine cache's counters for the whole bench session."""
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / "engine_cache_stats.txt").write_text(
+        get_cache().describe() + "\n")

@@ -7,6 +7,8 @@ Examples::
     python -m repro evaluate --app bert0 --chip TPUv4i --batch 8
     python -m repro compare --app cnn0
     python -m repro migrate --app cnn0 --source TPUv3 --target TPUv4i
+    python -m repro engine stats
+    python -m repro engine bench --workers 2 --output BENCH_engine.json
 
 The CLI is a thin veneer over the public API; anything it prints can be
 reproduced programmatically with a few lines of `repro` calls.
@@ -16,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Optional
 
 from repro.arch import GENERATIONS, chip_by_name
 from repro.arch.config_io import load_chip
@@ -145,6 +147,41 @@ def _cmd_dump(args: argparse.Namespace) -> int:
     return 0
 
 
+def _engine_cache(args: argparse.Namespace):
+    from repro.engine import configure_cache, get_cache
+
+    if args.dir:
+        return configure_cache(disk_dir=args.dir)
+    return get_cache()
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    cache = _engine_cache(args)
+    if args.action == "stats":
+        print(cache.describe())
+        if cache.disk_dir is None:
+            print("hint: set REPRO_CACHE_DIR=.repro_cache (or pass --dir) "
+                  "to persist results across runs")
+        return 0
+    if args.action == "clear":
+        entries = cache.entry_count() + cache.disk_entry_count()
+        cache.clear(disk=True)
+        print(f"cleared {entries} cache entries")
+        return 0
+    # bench: serial vs parallel vs warm sweep, recorded for PR tracking.
+    from repro.engine.bench import (
+        render_benchmark,
+        run_engine_benchmark,
+        write_benchmark,
+    )
+
+    record = run_engine_benchmark(workers=args.workers)
+    print(render_benchmark(record))
+    path = write_benchmark(record, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -188,10 +225,23 @@ def build_parser() -> argparse.ArgumentParser:
     migrate.add_argument("--source", default="TPUv3")
     migrate.add_argument("--target", default="TPUv4i")
     migrate.set_defaults(func=_cmd_migrate)
+
+    engine = sub.add_parser(
+        "engine", help="evaluation-engine cache stats and benchmark")
+    engine.add_argument("action", choices=("stats", "clear", "bench"),
+                        nargs="?", default="stats")
+    engine.add_argument("--dir", default=None,
+                        help="disk cache directory (default: memory only, "
+                             "or $REPRO_CACHE_DIR)")
+    engine.add_argument("--workers", type=int, default=2,
+                        help="process-pool size for 'bench'")
+    engine.add_argument("--output", default="BENCH_engine.json",
+                        help="where 'bench' writes its JSON record")
+    engine.set_defaults(func=_cmd_engine)
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

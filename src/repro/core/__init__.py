@@ -8,12 +8,17 @@ clock under the air-cooling TDP ceiling, and watch the paper's choice
 (one big core, 4 MXUs, 128 MiB CMEM) sit on the Pareto frontier.
 """
 
-from repro.core.design_point import DesignPoint, Evaluation
+from repro.core.design_point import (
+    DesignPoint,
+    Evaluation,
+    shared_design_point,
+)
 from repro.core.dse import (
     DesignCandidate,
     cmem_sweep,
     enumerate_candidates,
     evaluate_candidate,
+    evaluate_candidates,
     pareto_frontier,
 )
 from repro.core.multichip import (
@@ -30,7 +35,9 @@ __all__ = [
     "cmem_sweep",
     "enumerate_candidates",
     "evaluate_candidate",
+    "evaluate_candidates",
     "pareto_frontier",
+    "shared_design_point",
     "MultiChipReport",
     "PipelineDeployment",
     "StageReport",

@@ -6,20 +6,41 @@ once per (model, batch, CMEM budget) and power is accounted at *chip*
 scope: multi-core chips (TPUv2/v3) serve one request stream per core, so
 chip throughput is ``cores / latency`` and dynamic power scales with the
 active cores.
+
+Caching is two-tier. Each instance keeps its original per-instance memo
+dicts (cheapest lookup), and behind them every instance consults the
+process-global :class:`~repro.engine.cache.EvalCache`, keyed by a stable
+hash of every chip field, the compiler release, the workload, batch,
+CMEM budget and dtype. Two DesignPoints for the same configuration — or
+two processes sharing the cache's disk tier — therefore never repeat a
+simulation. A cached :class:`Evaluation` short-circuits compilation
+entirely; results are identical to the uncached path by construction
+(pure arithmetic on the same inputs; asserted in ``tests/test_engine.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from repro.arch.chip import ChipConfig
 from repro.arch.power import PowerModel
 from repro.compiler.pipeline import CompiledModel, compile_model
 from repro.compiler.versions import CompilerVersion, LATEST
+from repro.engine.cache import EvalCache, get_cache
+from repro.engine.keys import (
+    chip_fingerprint,
+    compiler_fingerprint,
+    eval_key,
+    key_meta,
+)
+from repro.engine.modules import built_module
 from repro.sim.core import SimResult, TensorCoreSim
 from repro.util.units import TERA
 from repro.workloads.models import WorkloadSpec
+
+#: DesignPoint evaluates with the simulator's default arithmetic.
+_EVAL_DTYPE = "bf16"
 
 
 @dataclass(frozen=True)
@@ -50,12 +71,32 @@ class DesignPoint:
     """One (chip, compiler release) pair with memoized evaluation."""
 
     def __init__(self, chip: ChipConfig,
-                 version: CompilerVersion = LATEST) -> None:
+                 version: CompilerVersion = LATEST,
+                 cache: Optional[EvalCache] = None) -> None:
         self.chip = chip
         self.version = version
         self.sim = TensorCoreSim(chip)
-        self._compiled: Dict[Tuple[str, int, Optional[int]], CompiledModel] = {}
-        self._results: Dict[Tuple[str, int, Optional[int]], SimResult] = {}
+        self._compiled: dict[tuple[str, int, Optional[int]], CompiledModel] = {}
+        self._results: dict[tuple[str, int, Optional[int]], SimResult] = {}
+        self._evaluations: dict[tuple[str, int, Optional[int]], Evaluation] = {}
+        self._cache = cache
+        self._chip_fp = chip_fingerprint(chip)
+        self._compiler_fp = compiler_fingerprint(version)
+
+    # --------------------------------------------------------------- caching
+
+    def _engine_cache(self) -> EvalCache:
+        return self._cache if self._cache is not None else get_cache()
+
+    def _key(self, kind: str, workload: str, batch: int,
+             cmem_budget_bytes: Optional[int]) -> str:
+        return eval_key(kind, self._chip_fp, self._compiler_fp, workload,
+                        batch, cmem_budget_bytes, _EVAL_DTYPE)
+
+    def _meta(self, kind: str, workload: str, batch: int,
+              cmem_budget_bytes: Optional[int]) -> dict:
+        return key_meta(kind, self.chip.name, self.version.name, workload,
+                        batch, cmem_budget_bytes, _EVAL_DTYPE)
 
     # ------------------------------------------------------------- compile/run
 
@@ -66,7 +107,7 @@ class DesignPoint:
             raise ValueError("batch must be positive")
         key = (spec.name, batch, cmem_budget_bytes)
         if key not in self._compiled:
-            module = spec.build(batch)
+            module = built_module(spec, batch)
             self._compiled[key] = compile_model(
                 module, self.chip, version=self.version,
                 cmem_budget_bytes=cmem_budget_bytes)
@@ -77,8 +118,16 @@ class DesignPoint:
         """Simulate (memoized) one inference of a workload."""
         key = (spec.name, batch, cmem_budget_bytes)
         if key not in self._results:
-            compiled = self.compiled(spec, batch, cmem_budget_bytes)
-            self._results[key] = self.sim.run(compiled.program)
+            engine = self._engine_cache()
+            ekey = self._key("sim", spec.name, batch, cmem_budget_bytes)
+            cached = engine.get(ekey)
+            if cached is None:
+                compiled = self.compiled(spec, batch, cmem_budget_bytes)
+                cached = self.sim.run(compiled.program)
+                engine.put(ekey, cached,
+                           self._meta("sim", spec.name, batch,
+                                      cmem_budget_bytes))
+            self._results[key] = cached
         return self._results[key]
 
     def latency_s(self, spec: WorkloadSpec, batch: int,
@@ -92,6 +141,21 @@ class DesignPoint:
                  cmem_budget_bytes: Optional[int] = None) -> Evaluation:
         """Chip-level throughput/power evaluation at a batch size."""
         b = batch if batch is not None else spec.default_batch
+        key = (spec.name, b, cmem_budget_bytes)
+        if key in self._evaluations:
+            return self._evaluations[key]
+        engine = self._engine_cache()
+        ekey = self._key("eval", spec.name, b, cmem_budget_bytes)
+        cached = engine.get(ekey)
+        if cached is None:
+            cached = self._evaluate_uncached(spec, b, cmem_budget_bytes)
+            engine.put(ekey, cached,
+                       self._meta("eval", spec.name, b, cmem_budget_bytes))
+        self._evaluations[key] = cached
+        return cached
+
+    def _evaluate_uncached(self, spec: WorkloadSpec, b: int,
+                           cmem_budget_bytes: Optional[int]) -> Evaluation:
         result = self.run(spec, b, cmem_budget_bytes)
         compiled = self.compiled(spec, b, cmem_budget_bytes)
         cores = self.chip.cores
@@ -128,7 +192,7 @@ class DesignPoint:
         )
 
     def max_batch_under_slo(self, spec: WorkloadSpec, slo_s: float,
-                            candidates: Tuple[int, ...] = (1, 2, 4, 8, 16, 32,
+                            candidates: tuple[int, ...] = (1, 2, 4, 8, 16, 32,
                                                            64, 128, 256)) -> int:
         """Largest candidate batch whose latency meets the SLO (0 if none).
 
@@ -142,3 +206,29 @@ class DesignPoint:
             if self.latency_s(spec, batch) <= slo_s:
                 best = max(best, batch)
         return best
+
+
+# ----------------------------------------------------------- shared registry
+
+_POINTS: dict[tuple[str, str], DesignPoint] = {}
+
+
+def shared_design_point(chip: ChipConfig,
+                        version: CompilerVersion = LATEST) -> DesignPoint:
+    """A process-wide DesignPoint for (chip, version), created on demand.
+
+    Sweep tasks go through here so that repeated evaluations of the same
+    configuration in one process (e.g. a CMEM sweep's capacities, or a
+    pool worker's chunk of candidates) share compiled models and the sim.
+    """
+    key = (chip_fingerprint(chip), compiler_fingerprint(version))
+    point = _POINTS.get(key)
+    if point is None:
+        point = DesignPoint(chip, version)
+        _POINTS[key] = point
+    return point
+
+
+def clear_shared_design_points() -> None:
+    """Drop the shared registry (tests / cold benchmark runs)."""
+    _POINTS.clear()

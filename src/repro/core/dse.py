@@ -10,28 +10,35 @@ Two instruments:
   node; reject designs that bust the air-cooling envelope (Lesson 8);
   report the perf / perf-per-watt Pareto set. The shipped TPUv4i
   configuration (4 MXUs, 128 MiB CMEM, ~1 GHz) sits on that frontier.
+
+Evaluation routes through the shared engine
+(:mod:`repro.engine`): results are memoized in the process-global
+:class:`~repro.engine.cache.EvalCache` and sweeps can fan out over a
+process pool (:func:`evaluate_candidates`, or the ``workers`` argument of
+:func:`cmem_sweep`) with results bit-identical to the serial loops.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 from repro.arch.chip import ChipConfig, TPUV4I
 from repro.arch.cooling import AIR_COOLING, air_coolable
 from repro.arch.power import PowerModel
-from repro.core.design_point import DesignPoint
+from repro.compiler.versions import CompilerVersion, LATEST
+from repro.core.design_point import shared_design_point
 from repro.tech.node import node_by_name
 from repro.util.units import GHZ, MIB
 from repro.workloads.models import PRODUCTION_APPS, WorkloadSpec
 
 # Subset used by default: one app per family keeps DSE wall-time modest
 # while spanning the roofline (benchmarks can pass the full eight).
-DEFAULT_DSE_APPS: Tuple[str, ...] = ("mlp1", "cnn0", "rnn0", "bert0")
+DEFAULT_DSE_APPS: tuple[str, ...] = ("mlp1", "cnn0", "rnn0", "bert0")
 
 
-def _apps(names: Sequence[str]) -> List[WorkloadSpec]:
+def _apps(names: Sequence[str]) -> list[WorkloadSpec]:
     by_name = {w.name: w for w in PRODUCTION_APPS}
     return [by_name[n] for n in names]
 
@@ -40,11 +47,20 @@ def _apps(names: Sequence[str]) -> List[WorkloadSpec]:
 
 def cmem_sweep(spec: WorkloadSpec, capacities_bytes: Sequence[int],
                chip: ChipConfig = TPUV4I,
-               batch: Optional[int] = None) -> List[Tuple[int, float]]:
-    """(capacity, latency seconds) for a workload across CMEM budgets."""
-    point = DesignPoint(chip)
+               batch: Optional[int] = None,
+               workers: Optional[int] = 1) -> list[tuple[int, float]]:
+    """(capacity, latency seconds) for a workload across CMEM budgets.
+
+    ``workers`` > 1 fans the capacities out over the engine's process
+    pool; the default stays serial (in-process, still cache-backed).
+    """
     b = batch if batch is not None else spec.default_batch
-    sweep: List[Tuple[int, float]] = []
+    if workers is not None and workers > 1:
+        from repro.engine.sweeps import cmem_capacity_sweep
+        return cmem_capacity_sweep(spec, capacities_bytes, chip, b,
+                                   workers=workers)
+    point = shared_design_point(chip)
+    sweep: list[tuple[int, float]] = []
     for capacity in capacities_bytes:
         if capacity < 0:
             raise ValueError("CMEM capacity must be non-negative")
@@ -105,9 +121,9 @@ def enumerate_candidates(
         mxu_counts: Sequence[int] = (2, 4, 8),
         cmem_mib_options: Sequence[int] = (0, 64, 128),
         clocks_ghz: Sequence[float] = (1.05,),
-) -> List[ChipConfig]:
+) -> list[ChipConfig]:
     """The candidate grid around the TPUv4i design point."""
-    grid: List[ChipConfig] = []
+    grid: list[ChipConfig] = []
     for mxus in mxu_counts:
         for cmem in cmem_mib_options:
             for clock in clocks_ghz:
@@ -118,11 +134,12 @@ def enumerate_candidates(
 
 
 def evaluate_candidate(chip: ChipConfig,
-                       app_names: Sequence[str] = DEFAULT_DSE_APPS
+                       app_names: Sequence[str] = DEFAULT_DSE_APPS,
+                       version: CompilerVersion = LATEST
                        ) -> DesignCandidate:
     """Evaluate one candidate on the app set (geomean chip QPS) + TDP."""
-    point = DesignPoint(chip)
-    qps: List[float] = []
+    point = shared_design_point(chip, version)
+    qps: list[float] = []
     for spec in _apps(app_names):
         qps.append(point.evaluate(spec).chip_qps)
     geomean = math.prod(qps) ** (1.0 / len(qps))
@@ -136,15 +153,30 @@ def evaluate_candidate(chip: ChipConfig,
     )
 
 
+def evaluate_candidates(chips: Sequence[ChipConfig],
+                        app_names: Sequence[str] = DEFAULT_DSE_APPS,
+                        *, version: CompilerVersion = LATEST,
+                        workers: Optional[int] = None
+                        ) -> list[DesignCandidate]:
+    """Evaluate a grid, fanning out over the engine's process pool.
+
+    ``workers=None`` sizes the pool to the machine; ``workers=1`` runs the
+    serial reference loop. Either way results are ordered like ``chips``
+    and identical to ``[evaluate_candidate(c, app_names) for c in chips]``.
+    """
+    from repro.engine.sweeps import evaluate_candidates as _sweep
+    return _sweep(chips, app_names, version=version, workers=workers)
+
+
 def pareto_frontier(candidates: Sequence[DesignCandidate],
-                    require_air: bool = True) -> List[DesignCandidate]:
+                    require_air: bool = True) -> list[DesignCandidate]:
     """Non-dominated set under (geomean_qps up, tdp down).
 
     With ``require_air=True`` liquid-only designs are excluded first —
     Lesson 8 applied as a hard constraint, the way the team applied it.
     """
     pool = [c for c in candidates if c.air_coolable] if require_air else list(candidates)
-    frontier: List[DesignCandidate] = []
+    frontier: list[DesignCandidate] = []
     for candidate in pool:
         dominated = any(
             other.geomean_qps >= candidate.geomean_qps

@@ -1,0 +1,85 @@
+"""The shared evaluation engine: result caching + process-parallel sweeps.
+
+Every layer above the compiler (DSE, serving, fleet sizing, benchmarks)
+funnels workload evaluation through :class:`~repro.core.design_point.
+DesignPoint`, and DesignPoint funnels it through this package:
+
+* :mod:`repro.engine.keys` — content-addressed keys covering every chip
+  field, the compiler release, workload, batch, CMEM budget and dtype;
+* :mod:`repro.engine.cache` — the two-tier :class:`EvalCache`
+  (in-process dict + optional ``.repro_cache/`` disk tier; enable with
+  ``REPRO_CACHE_DIR=.repro_cache`` or :func:`configure_cache`);
+* :mod:`repro.engine.modules` — chip-independent built-module sharing;
+* :mod:`repro.engine.parallel` — :class:`ParallelSweeper`, the
+  deterministic process-pool fan-out with order-preserving merge;
+* :mod:`repro.engine.sweeps` — parallel candidate/CMEM/batch-latency
+  sweeps used by ``repro.core.dse`` and the serving simulator;
+* :mod:`repro.engine.bench` — the serial-vs-parallel-vs-warm benchmark
+  behind ``repro engine bench`` and ``BENCH_engine.json``.
+
+Determinism guarantee: cached, uncached, serial and parallel evaluation
+of the same inputs produce identical records (pure arithmetic, order-
+preserving merge); ``tests/test_engine.py`` asserts this.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.engine.cache import (
+    CacheStats,
+    EvalCache,
+    cache_disabled,
+    configure_cache,
+    get_cache,
+    set_cache,
+)
+from repro.engine.keys import (
+    chip_fingerprint,
+    compiler_fingerprint,
+    eval_key,
+    fingerprint,
+)
+from repro.engine.modules import (
+    built_module,
+    clear_modules,
+    module_cache_disabled,
+)
+from repro.engine.parallel import ParallelSweeper, available_workers
+from repro.engine.sweeps import (
+    batch_latency_grid,
+    cmem_capacity_sweep,
+    evaluate_candidates,
+)
+
+
+@contextmanager
+def engine_disabled() -> Iterator[None]:
+    """Run with all engine caching off (the pre-engine code path)."""
+    with cache_disabled():
+        with module_cache_disabled():
+            yield
+
+
+__all__ = [
+    "CacheStats",
+    "EvalCache",
+    "ParallelSweeper",
+    "available_workers",
+    "batch_latency_grid",
+    "built_module",
+    "cache_disabled",
+    "chip_fingerprint",
+    "clear_modules",
+    "cmem_capacity_sweep",
+    "compiler_fingerprint",
+    "configure_cache",
+    "engine_disabled",
+    "eval_key",
+    "evaluate_candidates",
+    "fingerprint",
+    "get_cache",
+    "module_cache_disabled",
+    "set_cache",
+]

@@ -1,0 +1,153 @@
+"""The engine's own benchmark: serial vs parallel vs warm DSE sweeps.
+
+Runs the default DSE grid (``enumerate_candidates`` x ``DEFAULT_DSE_APPS``)
+four ways and reports wall times plus cache counters:
+
+* ``serial_cold_s`` — the pre-engine path: plain serial loop with the
+  result *and* module caches disabled (every candidate rebuilds and
+  recompiles everything, exactly like the code before this engine);
+* ``engine_serial_cold_s`` — serial loop through the engine with a cold
+  result cache (shared module builds only);
+* ``parallel_cold_s`` — cold result cache, ``workers`` processes;
+* ``warm_s`` — the same sweep again with the warm result cache.
+
+All four produce identical candidate lists (checked here and asserted in
+tests). The dict is written to ``BENCH_engine.json`` so speedups are
+tracked across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.engine.cache import EvalCache, get_cache, set_cache
+from repro.engine.modules import clear_modules, module_cache_disabled
+from repro.engine.parallel import available_workers
+
+#: Default output location: the repository/working-directory root.
+DEFAULT_OUTPUT = "BENCH_engine.json"
+
+
+def _sweep_serial_legacy(grid, apps) -> list:
+    """The pre-engine behavior: no shared caches of any kind."""
+    from repro.core.design_point import clear_shared_design_points
+    from repro.core.dse import evaluate_candidate
+    clear_shared_design_points()
+    cache = get_cache()
+    was_enabled = cache.enabled
+    cache.disable()
+    try:
+        with module_cache_disabled():
+            return [evaluate_candidate(chip, apps) for chip in grid]
+    finally:
+        if was_enabled:
+            cache.enable()
+        clear_shared_design_points()
+
+
+def run_engine_benchmark(workers: int = 2,
+                         app_names: Optional[Sequence[str]] = None,
+                         ) -> dict:
+    """Time the default DSE sweep serial/parallel/warm; return the record."""
+    from repro.core.design_point import clear_shared_design_points
+    from repro.core.dse import DEFAULT_DSE_APPS, enumerate_candidates
+    from repro.engine.sweeps import evaluate_candidates
+
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    apps = tuple(app_names) if app_names is not None else DEFAULT_DSE_APPS
+    grid = enumerate_candidates()
+
+    # Benchmark against a private, memory-only cache so ambient state
+    # (a user's REPRO_CACHE_DIR) cannot contaminate the cold timings.
+    previous = set_cache(EvalCache())
+    try:
+        t0 = time.perf_counter()
+        serial_legacy = _sweep_serial_legacy(grid, apps)
+        serial_cold_s = time.perf_counter() - t0
+
+        # Engine, serial, cold result cache.
+        set_cache(EvalCache())
+        clear_modules()
+        clear_shared_design_points()
+        t0 = time.perf_counter()
+        engine_serial = evaluate_candidates(grid, apps, workers=1)
+        engine_serial_cold_s = time.perf_counter() - t0
+
+        # Engine, parallel, cold result cache.
+        set_cache(EvalCache())
+        clear_modules()
+        clear_shared_design_points()
+        t0 = time.perf_counter()
+        parallel = evaluate_candidates(grid, apps, workers=workers)
+        parallel_cold_s = time.perf_counter() - t0
+
+        # Warm: same sweep against the now-populated cache, serially (the
+        # point is cache speed, not pool speed). Fresh design points force
+        # every lookup through the engine cache.
+        clear_shared_design_points()
+        cache = get_cache()
+        t0 = time.perf_counter()
+        warm = evaluate_candidates(grid, apps, workers=1)
+        warm_s = time.perf_counter() - t0
+
+        deterministic = (serial_legacy == engine_serial == parallel == warm)
+        stats = cache.stats
+        record = {
+            "benchmark": "engine_dse_sweep",
+            "grid_size": len(grid),
+            "apps": list(apps),
+            "workers": workers,
+            "available_cpus": available_workers(),
+            "platform": platform.platform(),
+            "serial_cold_s": round(serial_cold_s, 4),
+            "engine_serial_cold_s": round(engine_serial_cold_s, 4),
+            "parallel_cold_s": round(parallel_cold_s, 4),
+            "warm_s": round(warm_s, 4),
+            "speedup_parallel_vs_serial": round(
+                serial_cold_s / parallel_cold_s, 2),
+            "speedup_warm_vs_cold": round(serial_cold_s / warm_s, 2),
+            "deterministic": deterministic,
+            "cache": {
+                "entries": cache.entry_count(),
+                "bytes": cache.size_bytes(),
+                **stats.as_dict(),
+            },
+        }
+        return record
+    finally:
+        set_cache(previous)
+        clear_modules()
+        clear_shared_design_points()
+
+
+def write_benchmark(record: dict,
+                    path: str = DEFAULT_OUTPUT) -> Path:
+    """Persist a benchmark record as pretty-printed JSON."""
+    out = Path(path)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def render_benchmark(record: dict) -> str:
+    """A human-readable summary of a benchmark record."""
+    lines = [
+        f"engine benchmark: {record['grid_size']}-candidate DSE grid x "
+        f"{len(record['apps'])} apps "
+        f"({record['workers']} workers, {record['available_cpus']} CPUs)",
+        f"  serial cold (pre-engine): {record['serial_cold_s']:.3f} s",
+        f"  engine serial cold:       {record['engine_serial_cold_s']:.3f} s",
+        f"  parallel cold:            {record['parallel_cold_s']:.3f} s "
+        f"({record['speedup_parallel_vs_serial']:.2f}x vs serial)",
+        f"  warm cache:               {record['warm_s']:.3f} s "
+        f"({record['speedup_warm_vs_cold']:.0f}x vs serial cold)",
+        f"  deterministic across modes: {record['deterministic']}",
+        f"  cache: {record['cache']['entries']} entries, "
+        f"{record['cache']['bytes']:,} B, "
+        f"{record['cache']['hit_rate']:.0%} hit rate",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""EvalCache: the engine's content-addressed result store.
+
+Two tiers:
+
+* an **in-process** dict (always on unless disabled) shared by every
+  :class:`~repro.core.design_point.DesignPoint` in the process, so two
+  sweeps over overlapping grids — or a fleet plan after a DSE run —
+  never recompute a (chip, compiler, workload, batch, budget) tuple;
+* an optional **on-disk** tier under a cache directory (default
+  ``.repro_cache/``): one pickle per entry named by its key, plus a JSON
+  sidecar describing what the entry is. Disk entries survive process
+  restarts, so benchmark suites warm across invocations.
+
+Values are opaque to the cache (SimResult, Evaluation, ...); keys come
+from :mod:`repro.engine.keys`, which folds in every chip/compiler field —
+invalidation is by construction, never by mtime.
+
+Writes are atomic (temp file + ``os.replace``), and a corrupt or
+unreadable disk entry is treated as a miss and removed, so a killed
+process cannot poison the cache.
+"""
+
+from __future__ import annotations
+
+import os
+import json
+import pickle
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator, Optional
+
+#: Default on-disk location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro_cache"
+
+#: Environment switches: ``REPRO_CACHE=0`` disables caching entirely,
+#: ``REPRO_CACHE_DIR=<path>`` enables the disk tier at <path>.
+ENV_DISABLE = "REPRO_CACHE"
+ENV_DIR = "REPRO_CACHE_DIR"
+
+
+@dataclass
+class CacheStats:
+    """Lookup counters for one :class:`EvalCache` instance."""
+
+    hits: int = 0          # served from the in-process dict
+    disk_hits: int = 0     # served from the disk tier (then promoted)
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return (self.hits + self.disk_hits) / total if total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class _Entry:
+    value: Any
+    size_bytes: int
+    meta: Optional[dict] = field(default=None)
+
+
+class EvalCache:
+    """Content-addressed store for evaluation records."""
+
+    def __init__(self, disk_dir: Optional[os.PathLike] = None,
+                 enabled: bool = True) -> None:
+        self._mem: dict[str, _Entry] = {}
+        self._lock = threading.Lock()
+        self._enabled = enabled
+        self._disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.stats = CacheStats()
+
+    # --------------------------------------------------------------- config
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    @property
+    def disk_dir(self) -> Optional[Path]:
+        return self._disk_dir
+
+    # --------------------------------------------------------------- lookup
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached value, or None. Disk hits are promoted to memory."""
+        if not self._enabled:
+            return None
+        with self._lock:
+            entry = self._mem.get(key)
+            if entry is not None:
+                self.stats.hits += 1
+                return entry.value
+        value = self._disk_read(key)
+        if value is not None:
+            size = len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            with self._lock:
+                self.stats.disk_hits += 1
+                self._mem[key] = _Entry(value, size)
+            return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: Any,
+            meta: Optional[dict] = None) -> None:
+        """Store a value in memory and (if configured) on disk."""
+        if not self._enabled:
+            return
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            self._mem[key] = _Entry(value, len(blob), meta)
+            self.stats.puts += 1
+        if self._disk_dir is not None:
+            self._disk_write(key, blob, meta)
+
+    # ------------------------------------------------- cross-process merging
+
+    def keys(self) -> frozenset[str]:
+        """Snapshot of the in-memory key set."""
+        with self._lock:
+            return frozenset(self._mem)
+
+    def export_since(self, before: frozenset[str]) -> dict[str, Any]:
+        """Entries added after a :meth:`keys` snapshot (for worker return)."""
+        with self._lock:
+            return {k: e.value for k, e in self._mem.items() if k not in before}
+
+    def absorb(self, entries: dict[str, Any]) -> None:
+        """Merge entries computed elsewhere (e.g. by a pool worker)."""
+        for key, value in entries.items():
+            if not self._enabled:
+                return
+            with self._lock:
+                known = key in self._mem
+            if not known:
+                self.put(key, value)
+
+    # ------------------------------------------------------------ accounting
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint (pickled sizes)."""
+        with self._lock:
+            return sum(e.size_bytes for e in self._mem.values())
+
+    def disk_entry_count(self) -> int:
+        if self._disk_dir is None or not self._disk_dir.is_dir():
+            return 0
+        return sum(1 for _ in self._disk_dir.glob("*.pkl"))
+
+    def disk_size_bytes(self) -> int:
+        if self._disk_dir is None or not self._disk_dir.is_dir():
+            return 0
+        return sum(p.stat().st_size for p in self._disk_dir.glob("*.pkl"))
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop in-memory entries (and the disk tier when ``disk=True``)."""
+        with self._lock:
+            self._mem.clear()
+        if disk and self._disk_dir is not None and self._disk_dir.is_dir():
+            for path in list(self._disk_dir.glob("*.pkl")):
+                path.unlink(missing_ok=True)
+            for path in list(self._disk_dir.glob("*.json")):
+                path.unlink(missing_ok=True)
+
+    def describe(self) -> str:
+        disk = (f", disk {self.disk_entry_count()} entries / "
+                f"{self.disk_size_bytes():,} B at {self._disk_dir}"
+                if self._disk_dir is not None else ", disk tier off")
+        state = "enabled" if self._enabled else "DISABLED"
+        s = self.stats
+        return (f"EvalCache ({state}): {self.entry_count()} entries / "
+                f"{self.size_bytes():,} B in memory{disk}; "
+                f"{s.hits} hits, {s.disk_hits} disk hits, {s.misses} misses "
+                f"({s.hit_rate:.0%} hit rate)")
+
+    # ------------------------------------------------------------- disk tier
+
+    def _path(self, key: str) -> Path:
+        return self._disk_dir / f"{key}.pkl"
+
+    def _disk_read(self, key: str) -> Optional[Any]:
+        if self._disk_dir is None:
+            return None
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt / truncated entry: drop it and recompute.
+            path.unlink(missing_ok=True)
+            return None
+
+    def _disk_write(self, key: str, blob: bytes,
+                    meta: Optional[dict]) -> None:
+        self._disk_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        fd, tmp = tempfile.mkstemp(dir=self._disk_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        if meta is not None:
+            try:
+                path.with_suffix(".json").write_text(
+                    json.dumps(meta, sort_keys=True, indent=1))
+            except OSError:
+                pass
+
+
+# ------------------------------------------------------------- global cache
+
+_GLOBAL: Optional[EvalCache] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def get_cache() -> EvalCache:
+    """The process-wide cache, created on first use from the environment."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            disabled = os.environ.get(ENV_DISABLE, "").lower() in ("0", "off")
+            disk = os.environ.get(ENV_DIR)
+            _GLOBAL = EvalCache(disk_dir=Path(disk) if disk else None,
+                                enabled=not disabled)
+        return _GLOBAL
+
+
+def configure_cache(disk_dir: Optional[os.PathLike] = None,
+                    enabled: bool = True) -> EvalCache:
+    """Replace the global cache (e.g. to turn the disk tier on)."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = EvalCache(disk_dir=disk_dir, enabled=enabled)
+        return _GLOBAL
+
+
+def set_cache(cache: Optional[EvalCache]) -> Optional[EvalCache]:
+    """Swap the global cache instance in; returns the previous one."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        previous, _GLOBAL = _GLOBAL, cache
+        return previous
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Temporarily disable the global result cache (cold-path timing)."""
+    cache = get_cache()
+    was_enabled = cache.enabled
+    cache.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            cache.enable()

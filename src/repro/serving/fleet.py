@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.design_point import DesignPoint
 from repro.serving.slo import Slo
@@ -44,7 +45,8 @@ class FleetPlan:
 
 
 def plan_fleet(point: DesignPoint, spec: WorkloadSpec, target_qps: float, *,
-               slo: Slo = None, peak_headroom: float = 1.4) -> FleetPlan:
+               slo: Optional[Slo] = None,
+               peak_headroom: float = 1.4) -> FleetPlan:
     """Size a fleet to serve ``target_qps`` under the app's SLO.
 
     ``peak_headroom`` provisions for diurnal peaks above the mean rate

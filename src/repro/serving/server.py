@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Optional, Sequence
 
 from repro.core.design_point import DesignPoint
 from repro.serving.batching import BatchPolicy
@@ -51,15 +51,38 @@ class ServingSimulator:
         self.spec = spec
         self.policy = policy
         self.slo = slo
-        self._latency_cache: Dict[int, float] = {}
+        self._latency_cache: dict[int, float] = {}
 
     def batch_latency_s(self, batch: int) -> float:
-        """Compute latency of one padded batch (memoized)."""
+        """Compute latency of one padded batch (memoized).
+
+        Lookups route through the design point and therefore through the
+        engine's :class:`~repro.engine.cache.EvalCache`: a second
+        simulator over the same (chip, workload) — or a later process
+        with the disk tier on — reuses these latencies.
+        """
         padded = self.policy.padded_size(batch)
         if padded not in self._latency_cache:
             self._latency_cache[padded] = self.point.latency_s(
                 self.spec, padded)
         return self._latency_cache[padded]
+
+    def prewarm(self, workers: Optional[int] = None) -> dict[int, float]:
+        """Precompute latencies for every padded batch step, in parallel.
+
+        Fans the policy's batch steps out over the engine's process pool
+        (``workers=None`` sizes it to the machine) and seeds both the
+        local memo and the global cache, so the event loop never stalls
+        on a cold compile/simulate.
+        """
+        steps = [step for step
+                 in BatchPolicy.batch_steps(self.policy.max_batch)]
+        from repro.engine.sweeps import batch_latency_grid
+        grid = batch_latency_grid(self.point.chip, self.spec.name, steps,
+                                  version=self.point.version,
+                                  workers=workers)
+        self._latency_cache.update(grid)
+        return dict(grid)
 
     def simulate(self, requests: Sequence[Request]) -> ServingStats:
         """Run the event loop over a time-sorted request stream."""
@@ -73,10 +96,10 @@ class ServingSimulator:
         servers = [0.0] * cores
         heapq.heapify(servers)
 
-        latencies: List[float] = []
-        batch_sizes: List[int] = []
+        latencies: list[float] = []
+        batch_sizes: list[int] = []
         index = 0
-        queue: List[float] = []  # arrival times of queued requests
+        queue: list[float] = []  # arrival times of queued requests
         total = len(arrivals)
         last_completion = 0.0
 

@@ -22,8 +22,8 @@ treats cores as independent request servers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.arch.chip import ChipConfig
 from repro.arch.dma import DmaEngine
@@ -61,6 +61,20 @@ class SimResult:
         return self.report.cycles
 
 
+@dataclass
+class _RunState:
+    """Per-run execution unit state.
+
+    Kept local to one :meth:`TensorCoreSim.run` call (never on the sim
+    instance) so a single sim is reentrant: the engine's workers and the
+    shared design-point registry can reuse one instance concurrently.
+    """
+
+    mxu_free: int = 0
+    vpu_free: int = 0
+    flags: dict[int, int] = field(default_factory=dict)
+
+
 class TensorCoreSim:
     """Executes :class:`Program` objects on one chip configuration."""
 
@@ -83,7 +97,7 @@ class TensorCoreSim:
             raise ValueError(f"{self.chip.name} does not support {dtype}")
 
         memory = MemorySystem(self.chip)
-        engines: Dict[str, List[DmaEngine]] = {}
+        engines: dict[str, list[DmaEngine]] = {}
         for level in memory.levels():
             if level.name == "vmem":
                 continue
@@ -92,13 +106,11 @@ class TensorCoreSim:
 
         counters = PerfCounters()
         log = Trace() if trace else None
-        flags: Dict[int, int] = {}
+        state = _RunState()
         elem_bytes = 1 if dtype == "int8" else 2
 
         issue = 0
         halted = False
-        self._mxu_free = 0
-        self._vpu_free = 0
 
         for bundle in program.bundles:
             if halted:
@@ -107,7 +119,7 @@ class TensorCoreSim:
             bundle_issue = issue
             for inst in bundle.instructions:
                 issue = self._execute(
-                    inst, issue, memory, engines, flags, counters, log,
+                    inst, issue, memory, engines, state, counters, log,
                     elem_bytes)
                 if inst.opcode is Opcode.HALT:
                     halted = True
@@ -117,8 +129,8 @@ class TensorCoreSim:
         dma_end = max(
             (engine.busy_until for pool in engines.values() for engine in pool),
             default=0)
-        total = max(issue, self._mxu_free, self._vpu_free, dma_end,
-                    max(flags.values(), default=0))
+        total = max(issue, state.mxu_free, state.vpu_free, dma_end,
+                    max(state.flags.values(), default=0))
         counters.cycles = max(1, total)
         counters.dma_busy_cycles = sum(
             engine.busy_cycles() for pool in engines.values() for engine in pool)
@@ -131,14 +143,14 @@ class TensorCoreSim:
     # ------------------------------------------------------------- internals
 
     def _execute(self, inst: Instruction, issue: int, memory: MemorySystem,
-                 engines: Dict[str, List[DmaEngine]], flags: Dict[int, int],
+                 engines: dict[str, list[DmaEngine]], state: _RunState,
                  counters: PerfCounters, log: Optional[Trace],
                  elem_bytes: int) -> int:
         """Execute one instruction; returns the updated issue cycle."""
         op = inst.opcode
 
         if op is Opcode.SYNC_WAIT:
-            target = flags.get(inst.args[0], 0)
+            target = state.flags.get(inst.args[0], 0)
             if target > issue:
                 counters.sync_stall_cycles += target - issue
                 if log:
@@ -148,7 +160,7 @@ class TensorCoreSim:
             return issue
 
         if op is Opcode.SYNC_SET:
-            flags[inst.args[0]] = issue
+            state.flags[inst.args[0]] = issue
             return issue
 
         if op in (Opcode.DMA_IN, Opcode.DMA_OUT):
@@ -163,7 +175,7 @@ class TensorCoreSim:
             active = sum(1 for e in pool if e.busy_until > issue)
             transfer = engine.issue(num_bytes, issue,
                                     contention=max(1, active))
-            flags[flag] = transfer.end_cycle
+            state.flags[flag] = transfer.end_cycle
             if log:
                 log.record(TraceEvent(transfer.start_cycle, transfer.end_cycle,
                                       f"dma.{level_name}", op.mnemonic,
@@ -173,29 +185,29 @@ class TensorCoreSim:
         if op is Opcode.MXM:
             m, k, n = inst.args
             timing = self.mxu.matmul(m, k, n)
-            start = max(issue, getattr(self, "_mxu_free", 0))
-            self._mxu_free = start + timing.cycles
+            start = max(issue, state.mxu_free)
+            state.mxu_free = start + timing.cycles
             counters.macs += timing.macs
             counters.mxu_busy_cycles += timing.cycles
             # Operand/result traffic through VMEM.
             memory.record_traffic(
                 "vmem", (m * k + k * n + m * n) * elem_bytes)
             if log:
-                log.record(TraceEvent(start, self._mxu_free, "mxu", "mxm",
+                log.record(TraceEvent(start, state.mxu_free, "mxu", "mxm",
                                       f"{m}x{k}x{n}"))
             return issue
 
         if op is Opcode.MXM_LOADW or op is Opcode.MXM_TRANSPOSE:
             a, b = inst.args
             cycles = max(1, a)
-            start = max(issue, getattr(self, "_mxu_free", 0))
-            self._mxu_free = start + cycles
+            start = max(issue, state.mxu_free)
+            state.mxu_free = start + cycles
             counters.mxu_busy_cycles += cycles
             return issue
 
         if op in VECTOR_OP_CLASS:
-            return self._execute_vector(inst, issue, memory, counters, log,
-                                        elem_bytes)
+            return self._execute_vector(inst, issue, memory, state, counters,
+                                        log, elem_bytes)
 
         if op is Opcode.HALT:
             return issue
@@ -205,8 +217,9 @@ class TensorCoreSim:
         return issue
 
     def _execute_vector(self, inst: Instruction, issue: int,
-                        memory: MemorySystem, counters: PerfCounters,
-                        log: Optional[Trace], elem_bytes: int) -> int:
+                        memory: MemorySystem, state: _RunState,
+                        counters: PerfCounters, log: Optional[Trace],
+                        elem_bytes: int) -> int:
         op_class = VECTOR_OP_CLASS[inst.opcode]
         if inst.opcode is Opcode.VREDUCE:
             elements, axis_len = inst.args
@@ -214,13 +227,13 @@ class TensorCoreSim:
         else:
             elements = inst.args[0]
             timing = self.vpu.elementwise(op_class, elements)
-        start = max(issue, getattr(self, "_vpu_free", 0))
-        self._vpu_free = start + timing.cycles
+        start = max(issue, state.vpu_free)
+        state.vpu_free = start + timing.cycles
         counters.vector_alu_ops += timing.alu_ops
         counters.vpu_busy_cycles += timing.cycles
         memory.record_traffic("vmem", 2 * elements * elem_bytes)
         if log:
-            log.record(TraceEvent(start, self._vpu_free, "vpu",
+            log.record(TraceEvent(start, state.vpu_free, "vpu",
                                   inst.opcode.mnemonic, f"{elements} elems"))
         return issue
 

@@ -1,0 +1,311 @@
+"""The shared evaluation engine: cache correctness, parallel determinism.
+
+The engine's contract is strict: cached, uncached, serial and parallel
+evaluation of the same (chip, compiler, workload, batch, budget) inputs
+must produce *identical* records — not approximately equal ones. These
+tests assert that, plus the disk tier's round-trip/invalidation behavior
+and the simulator reentrancy the process pool relies on.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.arch.chip import TPUV4I
+from repro.compiler.versions import RELEASES
+from repro.core.design_point import (
+    DesignPoint,
+    clear_shared_design_points,
+    shared_design_point,
+)
+from repro.core.dse import (
+    cmem_sweep,
+    enumerate_candidates,
+    evaluate_candidate,
+    evaluate_candidates,
+    pareto_frontier,
+)
+from repro.engine import (
+    EvalCache,
+    ParallelSweeper,
+    chip_fingerprint,
+    compiler_fingerprint,
+    engine_disabled,
+    eval_key,
+)
+from repro.engine.cache import get_cache
+from repro.serving.batching import BatchPolicy
+from repro.serving.server import ServingSimulator
+from repro.serving.slo import Slo
+from repro.sim.core import TensorCoreSim
+from repro.util.units import MIB
+from repro.workloads.models import app_by_name
+
+# Small, fast workloads: the contract is about identity, not scale.
+GRID_CHIPS = (TPUV4I, TPUV4I.variant("v4i-2mxu", mxus_per_core=2))
+GRID_APPS = ("mlp0", "cnn0")
+GRID_BATCHES = (1, 8)
+
+
+def _fields(evaluation):
+    return (evaluation.workload, evaluation.chip, evaluation.batch,
+            evaluation.latency_s, evaluation.chip_qps,
+            evaluation.chip_power_w, evaluation.achieved_tops_chip,
+            evaluation.mxu_utilization, evaluation.cmem_hit_fraction)
+
+
+class TestCacheEquivalence:
+    def test_cache_on_off_identical_over_grid(self):
+        """Cached and uncached evaluation agree field-for-field."""
+        cache = EvalCache()
+        off = EvalCache(enabled=False)
+        for chip in GRID_CHIPS:
+            for app in GRID_APPS:
+                spec = app_by_name(app)
+                for batch in GRID_BATCHES:
+                    uncached = DesignPoint(chip, cache=off).evaluate(
+                        spec, batch)
+                    cold = DesignPoint(chip, cache=cache).evaluate(spec, batch)
+                    # Fresh point, warm cache: must come from the cache.
+                    before = cache.stats.hits
+                    warm = DesignPoint(chip, cache=cache).evaluate(spec, batch)
+                    assert cache.stats.hits > before
+                    assert _fields(uncached) == _fields(cold) == _fields(warm)
+
+    def test_sim_results_identical_cache_on_off(self):
+        spec = app_by_name("cnn0")
+        cache = EvalCache()
+        cold = DesignPoint(TPUV4I, cache=cache).run(spec, 4)
+        warm = DesignPoint(TPUV4I, cache=cache).run(spec, 4)
+        off = DesignPoint(TPUV4I, cache=EvalCache(enabled=False)).run(spec, 4)
+        assert cold.cycles == warm.cycles == off.cycles
+        assert cold.counters == warm.counters == off.counters
+
+    def test_engine_disabled_context_matches_enabled(self):
+        spec = app_by_name("mlp0")
+        with engine_disabled():
+            legacy = DesignPoint(TPUV4I).evaluate(spec, 4)
+        engined = DesignPoint(TPUV4I).evaluate(spec, 4)
+        assert _fields(legacy) == _fields(engined)
+
+
+class TestDiskTier:
+    def test_round_trip_across_cache_instances(self, tmp_path):
+        spec = app_by_name("mlp0")
+        writer = EvalCache(disk_dir=tmp_path)
+        first = DesignPoint(TPUV4I, cache=writer).evaluate(spec, 2)
+        assert writer.disk_entry_count() > 0
+        assert writer.disk_size_bytes() > 0
+
+        # A fresh cache over the same directory = a new process.
+        reader = EvalCache(disk_dir=tmp_path)
+        second = DesignPoint(TPUV4I, cache=reader).evaluate(spec, 2)
+        assert reader.stats.disk_hits >= 1
+        assert reader.stats.misses == 0
+        assert _fields(first) == _fields(second)
+
+    def test_invalidation_on_chip_and_compiler_change(self, tmp_path):
+        spec = app_by_name("mlp0")
+        cache = EvalCache(disk_dir=tmp_path)
+        DesignPoint(TPUV4I, cache=cache).evaluate(spec, 2)
+
+        # Any chip-field change must miss (key covers every field).
+        tweaked = TPUV4I.variant("v4i-fast", clock_hz=TPUV4I.clock_hz * 1.1)
+        fresh = EvalCache(disk_dir=tmp_path)
+        DesignPoint(tweaked, cache=fresh).evaluate(spec, 2)
+        assert fresh.stats.disk_hits == 0
+        assert fresh.stats.misses > 0
+
+        # So must a different compiler release.
+        fresh2 = EvalCache(disk_dir=tmp_path)
+        DesignPoint(TPUV4I, version=RELEASES[0],
+                    cache=fresh2).evaluate(spec, 2)
+        assert fresh2.stats.disk_hits == 0
+
+    def test_corrupt_disk_entry_is_recomputed(self, tmp_path):
+        spec = app_by_name("mlp0")
+        cache = EvalCache(disk_dir=tmp_path)
+        result = DesignPoint(TPUV4I, cache=cache).evaluate(spec, 2)
+        for path in tmp_path.glob("*.pkl"):
+            path.write_bytes(b"not a pickle")
+        reader = EvalCache(disk_dir=tmp_path)
+        again = DesignPoint(TPUV4I, cache=reader).evaluate(spec, 2)
+        assert _fields(result) == _fields(again)
+
+    def test_clear_removes_disk_entries(self, tmp_path):
+        spec = app_by_name("mlp0")
+        cache = EvalCache(disk_dir=tmp_path)
+        DesignPoint(TPUV4I, cache=cache).evaluate(spec, 2)
+        cache.clear(disk=True)
+        assert cache.entry_count() == 0
+        assert cache.disk_entry_count() == 0
+
+
+class TestKeys:
+    def test_fingerprints_stable_and_sensitive(self):
+        assert chip_fingerprint(TPUV4I) == chip_fingerprint(TPUV4I)
+        assert (chip_fingerprint(TPUV4I)
+                != chip_fingerprint(TPUV4I.variant("x", clock_hz=1e9)))
+        assert (compiler_fingerprint(RELEASES[0])
+                != compiler_fingerprint(RELEASES[-1]))
+
+    def test_eval_key_covers_every_input(self):
+        chip_fp = chip_fingerprint(TPUV4I)
+        comp_fp = compiler_fingerprint(RELEASES[-1])
+        base = eval_key("sim", chip_fp, comp_fp, "mlp0", 4, None, "bf16")
+        assert base != eval_key("eval", chip_fp, comp_fp, "mlp0", 4,
+                                None, "bf16")
+        assert base != eval_key("sim", chip_fp, comp_fp, "mlp0", 8,
+                                None, "bf16")
+        assert base != eval_key("sim", chip_fp, comp_fp, "mlp0", 4,
+                                64 * MIB, "bf16")
+        assert base != eval_key("sim", chip_fp, comp_fp, "mlp0", 4,
+                                None, "int8")
+        assert base != eval_key("sim", chip_fp, comp_fp, "cnn0", 4,
+                                None, "bf16")
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestParallelSweeper:
+    def test_order_preserving_merge(self):
+        items = list(range(23))
+        expected = [x * x for x in items]
+        assert ParallelSweeper(workers=1).map(_square, items) == expected
+        assert ParallelSweeper(workers=2).map(_square, items) == expected
+        assert ParallelSweeper(workers=2, chunk_size=3).map(
+            _square, items) == expected
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelSweeper(workers=0)
+        with pytest.raises(ValueError):
+            ParallelSweeper(chunk_size=0)
+
+    def test_parallel_equals_serial_candidates(self):
+        """The pareto_frontier inputs are deterministic across worker counts."""
+        grid = enumerate_candidates(mxu_counts=(2, 4),
+                                    cmem_mib_options=(0, 64))
+        serial = evaluate_candidates(grid, GRID_APPS, workers=1)
+        parallel = evaluate_candidates(grid, GRID_APPS, workers=2)
+        assert serial == parallel
+        assert pareto_frontier(serial) == pareto_frontier(parallel)
+        assert [c.chip.name for c in parallel] == [chip.name for chip in grid]
+
+    def test_parallel_sweep_warms_parent_cache(self):
+        grid = enumerate_candidates(mxu_counts=(2,), cmem_mib_options=(64,))
+        clear_shared_design_points()
+        evaluate_candidates(grid, ("mlp0",), workers=2)
+        cache = get_cache()
+        clear_shared_design_points()  # force lookups through the cache
+        hits_before = cache.stats.hits
+        again = evaluate_candidates(grid, ("mlp0",), workers=1)
+        assert cache.stats.hits > hits_before
+        assert again == evaluate_candidates(grid, ("mlp0",), workers=1)
+
+
+class TestDseThroughEngine:
+    def test_evaluate_candidate_matches_legacy_path(self):
+        chip = enumerate_candidates(mxu_counts=(4,),
+                                    cmem_mib_options=(64,))[0]
+        with engine_disabled():
+            clear_shared_design_points()
+            legacy = evaluate_candidate(chip, GRID_APPS)
+        clear_shared_design_points()
+        engined = evaluate_candidate(chip, GRID_APPS)
+        assert legacy == engined
+
+    def test_cmem_sweep_serial_equals_parallel(self):
+        spec = app_by_name("mlp0")
+        capacities = [0, 32 * MIB, 128 * MIB]
+        serial = cmem_sweep(spec, capacities, batch=2, workers=1)
+        parallel = cmem_sweep(spec, capacities, batch=2, workers=2)
+        assert serial == parallel
+        assert [c for c, _ in serial] == capacities
+
+    def test_cmem_sweep_rejects_negative_capacity(self):
+        spec = app_by_name("mlp0")
+        with pytest.raises(ValueError):
+            cmem_sweep(spec, [-1], batch=2)
+        with pytest.raises(ValueError):
+            cmem_sweep(spec, [-1], batch=2, workers=2)
+
+    def test_shared_design_point_is_shared(self):
+        clear_shared_design_points()
+        assert shared_design_point(TPUV4I) is shared_design_point(TPUV4I)
+        other = TPUV4I.variant("other", clock_hz=1e9)
+        assert shared_design_point(TPUV4I) is not shared_design_point(other)
+
+
+class TestSimReentrancy:
+    def test_repeated_runs_identical_and_stateless(self):
+        spec = app_by_name("cnn0")
+        point = DesignPoint(TPUV4I, cache=EvalCache(enabled=False))
+        program = point.compiled(spec, 2).program
+        sim = TensorCoreSim(TPUV4I)
+        first = sim.run(program)
+        second = sim.run(program)
+        assert first.cycles == second.cycles
+        assert first.counters == second.counters
+        # No per-run state may leak onto the shared instance.
+        assert not hasattr(sim, "_mxu_free")
+        assert not hasattr(sim, "_vpu_free")
+
+    def test_interleaved_programs_do_not_interfere(self):
+        sim = TensorCoreSim(TPUV4I)
+        point = DesignPoint(TPUV4I, cache=EvalCache(enabled=False))
+        prog_a = point.compiled(app_by_name("mlp0"), 2).program
+        prog_b = point.compiled(app_by_name("cnn0"), 2).program
+        baseline_a = sim.run(prog_a).cycles
+        sim.run(prog_b)
+        assert sim.run(prog_a).cycles == baseline_a
+
+
+class TestServingPrewarm:
+    def test_prewarm_matches_on_demand_latencies(self):
+        spec = app_by_name("mlp0")
+        simulator = ServingSimulator(
+            DesignPoint(TPUV4I), spec,
+            BatchPolicy(max_batch=8, max_wait_s=0.001), Slo(0.05))
+        grid = simulator.prewarm(workers=1)
+        assert set(grid) == set(BatchPolicy.batch_steps(8))
+        fresh = ServingSimulator(
+            DesignPoint(TPUV4I), spec,
+            BatchPolicy(max_batch=8, max_wait_s=0.001), Slo(0.05))
+        for step, latency in grid.items():
+            assert fresh.batch_latency_s(step) == latency
+
+
+class TestCachePlumbing:
+    def test_export_absorb_round_trip(self):
+        source = EvalCache()
+        before = source.keys()
+        source.put("k1", {"v": 1})
+        source.put("k2", (1, 2, 3))
+        entries = source.export_since(before)
+        assert set(entries) == {"k1", "k2"}
+        sink = EvalCache()
+        sink.absorb(entries)
+        assert sink.get("k1") == {"v": 1}
+        assert sink.get("k2") == (1, 2, 3)
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = EvalCache(enabled=False)
+        cache.put("k", 1)
+        assert cache.get("k") is None
+        assert cache.entry_count() == 0
+
+    def test_stats_and_describe(self):
+        cache = EvalCache()
+        cache.put("k", "value")
+        assert cache.get("k") == "value"
+        assert cache.get("missing") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+        assert cache.size_bytes() >= len(pickle.dumps("value"))
+        assert "entries" in cache.describe()
