@@ -23,15 +23,27 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 
 
 def test_engine_benchmark(benchmark):
-    result = run_once(benchmark, lambda: run_engine_benchmark(workers=2))
+    # workers=None sizes the pool from CPU affinity, so the recorded
+    # numbers are what this machine can actually deliver.
+    result = run_once(benchmark, lambda: run_engine_benchmark(workers=None))
     text = render_benchmark(result)
     record("BENCH_engine", text)
     write_benchmark(result, REPO_ROOT / "BENCH_engine.json")
 
     assert result["deterministic"], (
         "parallel/cached sweeps must match the serial path bit for bit")
+    assert result["fast_sim_identical"], (
+        "lowered replay must match the interpreter bit for bit")
     # Warm cache must make the sweep at least 5x cheaper than cold.
     assert result["serial_cold_s"] >= 5 * result["warm_s"]
     # The engine's cold sweep must not lose to the pre-engine serial path
     # (on multi-core machines the parallel margin is much larger).
     assert result["parallel_cold_s"] < result["serial_cold_s"]
+    # The honest headline: parallel must also not lose to the engine's
+    # *own* serial path — the sweeper falls back to serial when fan-out
+    # is a loss, so the worst case is parity (plus timing noise).
+    assert (result["parallel_cold_s"]
+            <= 1.25 * result["engine_serial_cold_s"])
+    # The lowered-IR replay kernel: >= 2x over the interpreter even with
+    # a cold lowering on every program (the tentpole acceptance bar).
+    assert result["speedup_fast_vs_interp"] >= 2.0

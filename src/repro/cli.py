@@ -233,8 +233,9 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--dir", default=None,
                         help="disk cache directory (default: memory only, "
                              "or $REPRO_CACHE_DIR)")
-    engine.add_argument("--workers", type=int, default=2,
-                        help="process-pool size for 'bench'")
+    engine.add_argument("--workers", type=int, default=None,
+                        help="process-pool size for 'bench' "
+                             "(default: CPU affinity)")
     engine.add_argument("--output", default="BENCH_engine.json",
                         help="where 'bench' writes its JSON record")
     engine.set_defaults(func=_cmd_engine)

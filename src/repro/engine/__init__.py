@@ -41,6 +41,13 @@ from repro.engine.keys import (
     eval_key,
     fingerprint,
 )
+from repro.engine.lowered import (
+    clear_lowered,
+    lowered_cache_disabled,
+    lowered_cache_size,
+    lowered_cache_stats,
+    lowered_program,
+)
 from repro.engine.modules import (
     built_module,
     clear_modules,
@@ -71,6 +78,7 @@ __all__ = [
     "built_module",
     "cache_disabled",
     "chip_fingerprint",
+    "clear_lowered",
     "clear_modules",
     "cmem_capacity_sweep",
     "compiler_fingerprint",
@@ -80,6 +88,10 @@ __all__ = [
     "evaluate_candidates",
     "fingerprint",
     "get_cache",
+    "lowered_cache_disabled",
+    "lowered_cache_size",
+    "lowered_cache_stats",
+    "lowered_program",
     "module_cache_disabled",
     "set_cache",
 ]

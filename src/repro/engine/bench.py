@@ -1,19 +1,31 @@
-"""The engine's own benchmark: serial vs parallel vs warm DSE sweeps.
+"""The engine's own benchmark: serial vs parallel vs warm vs fast-sim.
 
 Runs the default DSE grid (``enumerate_candidates`` x ``DEFAULT_DSE_APPS``)
 four ways and reports wall times plus cache counters:
 
 * ``serial_cold_s`` — the pre-engine path: plain serial loop with the
-  result *and* module caches disabled (every candidate rebuilds and
-  recompiles everything, exactly like the code before this engine);
+  result *and* module caches disabled and the interpreter simulator
+  (every candidate rebuilds, recompiles and interprets everything,
+  exactly like the code before this engine);
 * ``engine_serial_cold_s`` — serial loop through the engine with a cold
-  result cache (shared module builds only);
-* ``parallel_cold_s`` — cold result cache, ``workers`` processes;
+  result cache (shared module builds, lowered-IR fast sim — the default
+  cold path);
+* ``parallel_cold_s`` — cold result cache, ``workers`` processes (the
+  sweeper falls back to serial itself when affinity makes fan-out a
+  loss, so this never regresses below the engine serial path);
 * ``warm_s`` — the same sweep again with the warm result cache.
 
-All four produce identical candidate lists (checked here and asserted in
-tests). The dict is written to ``BENCH_engine.json`` so speedups are
-tracked across PRs.
+A fifth phase times the *simulation path alone* on the grid's compiled
+programs — the thing the lowered-IR/replay kernel optimizes:
+
+* ``interp_cold_s`` — one interpreter run per (chip, app) program;
+* ``fast_cold_s`` — one cold lowering + replay per program;
+* ``speedup_fast_vs_interp`` — their ratio (the PR-tracked headline).
+
+All sweep modes produce identical candidate lists and the fast sim is
+bit-identical to the interpreter (checked here and asserted in tests).
+The dict is written to ``BENCH_engine.json`` so speedups are tracked
+across PRs.
 """
 
 from __future__ import annotations
@@ -25,15 +37,17 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.engine.cache import EvalCache, get_cache, set_cache
+from repro.engine.lowered import clear_lowered, lowered_cache_disabled
 from repro.engine.modules import clear_modules, module_cache_disabled
 from repro.engine.parallel import available_workers
+from repro.sim.lowered import fastsim_disabled
 
 #: Default output location: the repository/working-directory root.
 DEFAULT_OUTPUT = "BENCH_engine.json"
 
 
 def _sweep_serial_legacy(grid, apps) -> list:
-    """The pre-engine behavior: no shared caches of any kind."""
+    """The pre-engine behavior: no shared caches, interpreter simulator."""
     from repro.core.design_point import clear_shared_design_points
     from repro.core.dse import evaluate_candidate
     clear_shared_design_points()
@@ -41,7 +55,7 @@ def _sweep_serial_legacy(grid, apps) -> list:
     was_enabled = cache.enabled
     cache.disable()
     try:
-        with module_cache_disabled():
+        with module_cache_disabled(), fastsim_disabled():
             return [evaluate_candidate(chip, apps) for chip in grid]
     finally:
         if was_enabled:
@@ -49,14 +63,62 @@ def _sweep_serial_legacy(grid, apps) -> list:
         clear_shared_design_points()
 
 
-def run_engine_benchmark(workers: int = 2,
+def _bench_sim_path(grid, apps) -> dict:
+    """Time the simulation path alone: interpreter vs cold lower+replay.
+
+    Compiles each (chip, app) program once (at the app's default batch),
+    then measures one interpreter pass and one cold lowering + replay
+    pass per program, asserting the results stay bit-identical.
+    """
+    from repro.core.design_point import DesignPoint
+    from repro.workloads.models import app_by_name
+
+    jobs = []
+    for chip in grid:
+        point = DesignPoint(chip, cache=EvalCache(enabled=False))
+        for app in apps:
+            spec = app_by_name(app)
+            program = point.compiled(spec, spec.default_batch).program
+            jobs.append((point.sim, program))
+
+    t0 = time.perf_counter()
+    interp = [sim.run_interpreted(program) for sim, program in jobs]
+    interp_cold_s = time.perf_counter() - t0
+
+    clear_lowered()
+    with lowered_cache_disabled():
+        t0 = time.perf_counter()
+        fast = [sim.run(program) for sim, program in jobs]
+        fast_cold_s = time.perf_counter() - t0
+
+    identical = all(
+        a.cycles == b.cycles and a.counters == b.counters
+        and a.report == b.report
+        for a, b in zip(interp, fast))
+    return {
+        "sim_programs": len(jobs),
+        "interp_cold_s": round(interp_cold_s, 4),
+        "fast_cold_s": round(fast_cold_s, 4),
+        "speedup_fast_vs_interp": round(interp_cold_s / fast_cold_s, 2),
+        "fast_sim_identical": identical,
+    }
+
+
+def run_engine_benchmark(workers: Optional[int] = None,
                          app_names: Optional[Sequence[str]] = None,
                          ) -> dict:
-    """Time the default DSE sweep serial/parallel/warm; return the record."""
+    """Time the default DSE sweep serial/parallel/warm/fast; return the record.
+
+    ``workers=None`` sizes the parallel phase from CPU affinity
+    (:func:`available_workers`) instead of a hardcoded count, so the
+    recorded numbers reflect what the machine can actually deliver.
+    """
     from repro.core.design_point import clear_shared_design_points
     from repro.core.dse import DEFAULT_DSE_APPS, enumerate_candidates
     from repro.engine.sweeps import evaluate_candidates
 
+    if workers is None:
+        workers = available_workers()
     if workers < 1:
         raise ValueError("workers must be >= 1")
     apps = tuple(app_names) if app_names is not None else DEFAULT_DSE_APPS
@@ -66,21 +128,26 @@ def run_engine_benchmark(workers: int = 2,
     # (a user's REPRO_CACHE_DIR) cannot contaminate the cold timings.
     previous = set_cache(EvalCache())
     try:
+        clear_lowered()
         t0 = time.perf_counter()
         serial_legacy = _sweep_serial_legacy(grid, apps)
         serial_cold_s = time.perf_counter() - t0
 
-        # Engine, serial, cold result cache.
+        # Engine, serial, cold result + lowered caches.
         set_cache(EvalCache())
         clear_modules()
+        clear_lowered()
         clear_shared_design_points()
         t0 = time.perf_counter()
         engine_serial = evaluate_candidates(grid, apps, workers=1)
         engine_serial_cold_s = time.perf_counter() - t0
 
-        # Engine, parallel, cold result cache.
+        # Engine, parallel, cold result cache. The sweeper itself decides
+        # whether fan-out pays (affinity-capped), so on a 1-CPU box this
+        # degrades to the serial path instead of regressing below it.
         set_cache(EvalCache())
         clear_modules()
+        clear_lowered()
         clear_shared_design_points()
         t0 = time.perf_counter()
         parallel = evaluate_candidates(grid, apps, workers=workers)
@@ -94,6 +161,10 @@ def run_engine_benchmark(workers: int = 2,
         t0 = time.perf_counter()
         warm = evaluate_candidates(grid, apps, workers=1)
         warm_s = time.perf_counter() - t0
+
+        # Simulation path alone: interpreter vs cold lowering + replay.
+        clear_shared_design_points()
+        sim_record = _bench_sim_path(grid, apps)
 
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
@@ -110,8 +181,11 @@ def run_engine_benchmark(workers: int = 2,
             "warm_s": round(warm_s, 4),
             "speedup_parallel_vs_serial": round(
                 serial_cold_s / parallel_cold_s, 2),
+            "speedup_parallel_vs_engine_serial": round(
+                engine_serial_cold_s / parallel_cold_s, 2),
             "speedup_warm_vs_cold": round(serial_cold_s / warm_s, 2),
             "deterministic": deterministic,
+            **sim_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -122,6 +196,7 @@ def run_engine_benchmark(workers: int = 2,
     finally:
         set_cache(previous)
         clear_modules()
+        clear_lowered()
         clear_shared_design_points()
 
 
@@ -142,9 +217,16 @@ def render_benchmark(record: dict) -> str:
         f"  serial cold (pre-engine): {record['serial_cold_s']:.3f} s",
         f"  engine serial cold:       {record['engine_serial_cold_s']:.3f} s",
         f"  parallel cold:            {record['parallel_cold_s']:.3f} s "
-        f"({record['speedup_parallel_vs_serial']:.2f}x vs serial)",
+        f"({record['speedup_parallel_vs_serial']:.2f}x vs pre-engine, "
+        f"{record['speedup_parallel_vs_engine_serial']:.2f}x vs engine "
+        "serial)",
         f"  warm cache:               {record['warm_s']:.3f} s "
         f"({record['speedup_warm_vs_cold']:.0f}x vs serial cold)",
+        f"  sim path ({record['sim_programs']} programs): interpreter "
+        f"{record['interp_cold_s']:.3f} s, lower+replay "
+        f"{record['fast_cold_s']:.3f} s "
+        f"({record['speedup_fast_vs_interp']:.2f}x, identical: "
+        f"{record['fast_sim_identical']})",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

@@ -63,6 +63,10 @@ class HloModule:
         self.name = name
         self.instructions: List[HloInstruction] = []
         self._root: Optional[HloInstruction] = None
+        # Identity set of members, maintained incrementally: rebuilding it
+        # per add() made module construction O(n^2), which dominated cold
+        # compile time for deep graphs (the unrolled LSTMs).
+        self._member_ids: set = set()
 
     # ----------------------------------------------------------- construction
 
@@ -72,9 +76,8 @@ class HloModule:
         """Append an instruction; operands must already be in this module."""
         opdef(opcode)  # validate opcode
         operands = tuple(operands)
-        known = set(id(i) for i in self.instructions)
         for operand in operands:
-            if id(operand) not in known:
+            if id(operand) not in self._member_ids:
                 raise ValueError(
                     f"operand %{operand.uid} is not part of module {self.name!r}")
         inst = HloInstruction(
@@ -86,6 +89,7 @@ class HloModule:
             name=name,
         )
         self.instructions.append(inst)
+        self._member_ids.add(id(inst))
         return inst
 
     def set_root(self, inst: HloInstruction) -> None:

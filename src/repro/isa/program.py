@@ -49,6 +49,22 @@ class Program:
         for bundle in self.bundles:
             yield from bundle.instructions
 
+    def signature(self) -> Tuple:
+        """A hashable content key: name, generation, and every bundle.
+
+        Two programs with equal signatures execute identically, so the
+        engine's lowered-program cache (:mod:`repro.engine.lowered`) uses
+        this — not object identity — as its key; a program mutated by
+        :meth:`append` between runs gets a fresh signature for free.
+        """
+        return (
+            self.name,
+            self.generation,
+            tuple(tuple((inst.opcode, inst.args)
+                        for inst in bundle.instructions)
+                  for bundle in self.bundles),
+        )
+
     def count_opcodes(self) -> Dict[Opcode, int]:
         """Instruction histogram, used by compile-quality tests."""
         counts: Dict[Opcode, int] = {}

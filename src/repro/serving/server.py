@@ -75,8 +75,7 @@ class ServingSimulator:
         local memo and the global cache, so the event loop never stalls
         on a cold compile/simulate.
         """
-        steps = [step for step
-                 in BatchPolicy.batch_steps(self.policy.max_batch)]
+        steps = list(BatchPolicy.batch_steps(self.policy.max_batch))
         from repro.engine.sweeps import batch_latency_grid
         grid = batch_latency_grid(self.point.chip, self.spec.name, steps,
                                   version=self.point.version,

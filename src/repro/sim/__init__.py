@@ -9,13 +9,27 @@ paper is explicitly "analytical/cycle sim, not RTL").
 
 from repro.sim.perf import PerfCounters, PerfReport
 from repro.sim.trace import Trace, TraceEvent
+from repro.sim.lowered import (
+    FastReplay,
+    LoweredProgram,
+    fastsim_disabled,
+    fastsim_enabled,
+    lower_program,
+    replay,
+)
 from repro.sim.core import TensorCoreSim, SimResult
 
 __all__ = [
+    "FastReplay",
+    "LoweredProgram",
     "PerfCounters",
     "PerfReport",
     "Trace",
     "TraceEvent",
     "TensorCoreSim",
     "SimResult",
+    "fastsim_disabled",
+    "fastsim_enabled",
+    "lower_program",
+    "replay",
 ]

@@ -38,6 +38,7 @@ from repro.isa.instructions import (
     VECTOR_OP_CLASS,
 )
 from repro.isa.program import Program
+from repro.sim.lowered import FastReplay, fastsim_enabled
 from repro.sim.perf import PerfCounters, PerfReport, build_report
 from repro.sim.trace import Trace, TraceEvent
 
@@ -82,12 +83,19 @@ class TensorCoreSim:
         self.chip = chip
         self.mxu = MxuModel(chip)
         self.vpu = VpuModel(chip)
+        self.replay = FastReplay(chip)
 
     # ------------------------------------------------------------------- run
 
     def run(self, program: Program, *, dtype: str = "bf16",
             trace: bool = False) -> SimResult:
-        """Simulate one execution of ``program``; returns timing + counters."""
+        """Simulate one execution of ``program``; returns timing + counters.
+
+        Routes through the lowered-IR fast path (:mod:`repro.sim.lowered`)
+        by default — bit-identical to the interpreter, several times
+        faster. Tracing runs and ``REPRO_FASTSIM=0`` use the interpreter
+        (:meth:`run_interpreted`), the reference implementation.
+        """
         if program.generation != self.chip.generation:
             raise ValueError(
                 f"program was compiled for generation {program.generation}; "
@@ -95,7 +103,25 @@ class TensorCoreSim:
                 "Recompile (Lesson 2) rather than carrying binaries.")
         if not self.chip.supports_dtype(dtype):
             raise ValueError(f"{self.chip.name} does not support {dtype}")
+        if not trace and fastsim_enabled():
+            # Lazy import: the engine layer sits above the simulator (it
+            # caches lowerings process-wide), mirroring how engine sweeps
+            # import core lazily in the other direction.
+            from repro.engine.lowered import lowered_program
+            return self.replay.run(lowered_program(program, self.chip),
+                                   dtype=dtype)
+        return self.run_interpreted(program, dtype=dtype, trace=trace)
 
+    def run_interpreted(self, program: Program, *, dtype: str = "bf16",
+                        trace: bool = False) -> SimResult:
+        """The legacy per-instruction interpreter (reference timings)."""
+        if program.generation != self.chip.generation:
+            raise ValueError(
+                f"program was compiled for generation {program.generation}; "
+                f"{self.chip.name} is generation {self.chip.generation}. "
+                "Recompile (Lesson 2) rather than carrying binaries.")
+        if not self.chip.supports_dtype(dtype):
+            raise ValueError(f"{self.chip.name} does not support {dtype}")
         memory = MemorySystem(self.chip)
         engines: dict[str, list[DmaEngine]] = {}
         for level in memory.levels():

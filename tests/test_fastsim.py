@@ -1,0 +1,342 @@
+"""Equivalence suite: the lowered-IR fast replay vs the interpreter.
+
+The bit-identity contract (DESIGN.md): for every program the fast path
+can run, lowering + replay produces *exactly* the interpreter's cycles,
+every PerfCounters field, and every per-level byte count — not
+approximately, bit for bit. These tests pin that contract across all
+four chip generations, real compiled workloads, both dtypes, and
+hand-built corner-case programs, plus the cache/gating machinery around
+the fast path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch import TPUV1, TPUV2, TPUV3, TPUV4I
+from repro.compiler import compile_model
+from repro.compiler.pipeline import retarget_dtype
+from repro.engine.lowered import (
+    clear_lowered,
+    lowered_cache_disabled,
+    lowered_cache_size,
+    lowered_cache_stats,
+    lowered_program,
+)
+from repro.isa import Bundle, Instruction, Opcode, Program
+from repro.sim import TensorCoreSim
+from repro.sim.lowered import (
+    ENGINES_PER_LEVEL,
+    ENV_FASTSIM,
+    FastReplay,
+    fastsim_disabled,
+    fastsim_enabled,
+    lower_program,
+    replay,
+)
+from repro.workloads import app_by_name
+
+ALL_CHIPS = (TPUV1, TPUV2, TPUV3, TPUV4I)
+APPS = ("mlp0", "cnn0", "rnn0")
+BATCHES = (1, 8)
+
+
+def _dtypes(chip):
+    return tuple(d for d in ("bf16", "int8") if chip.supports_dtype(d))
+
+
+def _assert_identical(interp, fast):
+    """Bit-identity over cycles, every counter field, and every level."""
+    assert fast.cycles == interp.cycles
+    for field in dataclasses.fields(interp.counters):
+        assert (getattr(fast.counters, field.name)
+                == getattr(interp.counters, field.name)), field.name
+    assert (fast.counters.bytes_by_level.keys()
+            == interp.counters.bytes_by_level.keys())
+    assert fast.counters == interp.counters
+    assert fast.report == interp.report
+
+
+@pytest.fixture(scope="module")
+def compiled_programs():
+    """{(chip.name, app, batch): (chip, program)} for the identity sweep."""
+    programs = {}
+    for chip in ALL_CHIPS:
+        for app in APPS:
+            spec = app_by_name(app)
+            for batch in BATCHES:
+                module = spec.build(batch)
+                if not chip.supports_dtype("bf16"):  # TPUv1 is int8-only
+                    module = retarget_dtype(module, "int8")
+                program = compile_model(module, chip).program
+                programs[(chip.name, app, batch)] = (chip, program)
+    return programs
+
+
+class TestBitIdentityOnWorkloads:
+    @pytest.mark.parametrize("chip", ALL_CHIPS, ids=lambda c: c.name)
+    @pytest.mark.parametrize("app", APPS)
+    @pytest.mark.parametrize("batch", BATCHES)
+    def test_replay_matches_interpreter(self, compiled_programs, chip, app,
+                                        batch):
+        chip, program = compiled_programs[(chip.name, app, batch)]
+        sim = TensorCoreSim(chip)
+        lowered = lower_program(program, chip)
+        for dtype in _dtypes(chip):
+            interp = sim.run_interpreted(program, dtype=dtype)
+            fast = sim.replay.run(lowered, dtype=dtype)
+            _assert_identical(interp, fast)
+
+    def test_one_lowering_serves_both_dtypes(self, compiled_programs):
+        """The lowered form is dtype-independent (width scales only bytes)."""
+        chip, program = compiled_programs[("TPUv4i", "cnn0", 8)]
+        sim = TensorCoreSim(chip)
+        lowered = lower_program(program, chip)
+        bf16 = sim.replay.run(lowered, dtype="bf16")
+        int8 = sim.replay.run(lowered, dtype="int8")
+        _assert_identical(sim.run_interpreted(program, dtype="bf16"), bf16)
+        _assert_identical(sim.run_interpreted(program, dtype="int8"), int8)
+        assert (int8.counters.bytes_by_level["vmem"]
+                == bf16.counters.bytes_by_level["vmem"] / 2)
+
+
+class TestBitIdentityOnCornerCases:
+    """Hand-built programs that stress the replay loop's tricky paths."""
+
+    def _both(self, program, chip=TPUV4I, dtype="bf16"):
+        sim = TensorCoreSim(chip)
+        interp = sim.run_interpreted(program, dtype=dtype)
+        fast = replay(lower_program(program, chip), chip, dtype=dtype)
+        _assert_identical(interp, fast)
+        return interp
+
+    def _program(self, *bundles):
+        program = Program("hand", generation=4)
+        for bundle in bundles:
+            program.append(Bundle(tuple(bundle)))
+        program.append(Bundle((Instruction(Opcode.HALT),)))
+        return program
+
+    def test_dma_contention_and_engine_pool(self):
+        """>4 concurrent DMAs: engine reuse + contention-scaled bandwidth."""
+        mib = 2**20
+        dmas = [Instruction(Opcode.DMA_IN, (0, (i + 1) * mib, i))
+                for i in range(6)]
+        program = self._program(  # 3 per bundle: 4 DMA slots/bundle max
+            dmas[:3], dmas[3:], [Instruction(Opcode.SYNC_WAIT, (5,))])
+        result = self._both(program)
+        assert result.counters.sync_stall_cycles > 0
+
+    def test_dma_flag_overwrite_and_rewait(self):
+        """Two DMAs stamping one flag; the later completion wins."""
+        program = self._program(
+            [Instruction(Opcode.DMA_IN, (0, 2**20, 1)),
+             Instruction(Opcode.DMA_IN, (0, 2**24, 1))],
+            [Instruction(Opcode.SYNC_WAIT, (1,)),
+             Instruction(Opcode.MXM, (128, 128, 128))])
+        self._both(program)
+
+    def test_sync_set_then_wait_is_free(self):
+        program = self._program(
+            [Instruction(Opcode.SYNC_SET, (2,))],
+            [Instruction(Opcode.SYNC_WAIT, (2,))],
+            [Instruction(Opcode.SYNC_WAIT, (9,))])  # never set
+        result = self._both(program)
+        assert result.counters.sync_stall_cycles == 0
+
+    def test_mixed_units_overlap(self):
+        program = self._program(
+            [Instruction(Opcode.MXM, (512, 512, 512)),
+             Instruction(Opcode.VADD, (65536,)),
+             Instruction(Opcode.VREDUCE, (4096, 64)),
+             Instruction(Opcode.SADD, (1, 2, 3))],
+            [Instruction(Opcode.MXM_LOADW, (128, 128)),
+             Instruction(Opcode.MXM_TRANSPOSE, (64, 0)),
+             Instruction(Opcode.VMUL, (1000,))])
+        result = self._both(program)
+        assert result.counters.scalar_ops == 1
+
+    def test_halt_mid_program_truncates(self):
+        program = Program("h", generation=4)
+        program.append(Bundle((Instruction(Opcode.MXM, (128, 128, 128)),)))
+        program.append(Bundle((Instruction(Opcode.HALT),
+                               Instruction(Opcode.MXM, (512, 512, 512)))))
+        program.append(Bundle((Instruction(Opcode.MXM, (512, 512, 512)),)))
+        result = self._both(program)
+        assert result.counters.bundles == 2  # third bundle is dead code
+
+    def test_empty_program_costs_one_cycle(self):
+        program = Program("empty", generation=4)
+        self._both(program)
+        assert replay(lower_program(program, TPUV4I), TPUV4I).cycles == 1
+
+    def test_int8_on_v1(self):
+        program = Program("v1", generation=1)
+        program.append(Bundle((Instruction(Opcode.MXM, (256, 256, 256)),
+                               Instruction(Opcode.DMA_IN, (0, 2**20, 0)))))
+        self._both(program, chip=TPUV1, dtype="int8")
+
+
+class TestErrorParity:
+    """lower/replay raise exactly where the interpreter raises."""
+
+    def test_unreachable_dma_level(self):
+        # TPUv1 has no CMEM, so a CMEM DMA (level 1) has no engine pool.
+        program = Program("bad", generation=1)
+        program.append(Bundle((Instruction(Opcode.DMA_IN, (1, 1024, 0)),)))
+        with pytest.raises(ValueError) as interp_err:
+            TensorCoreSim(TPUV1).run_interpreted(program, dtype="int8")
+        with pytest.raises(ValueError) as lower_err:
+            lower_program(program, TPUV1)
+        assert str(interp_err.value) == str(lower_err.value)
+
+    def test_generation_mismatch_at_lower_and_replay(self):
+        program = Program("v4", generation=4)
+        with pytest.raises(ValueError, match="Recompile"):
+            lower_program(program, TPUV3)
+        lowered = lower_program(program, TPUV4I)
+        with pytest.raises(ValueError, match="Recompile"):
+            FastReplay(TPUV3).run(lowered)
+
+    def test_unsupported_dtype_at_replay(self):
+        program = Program("v2", generation=2)
+        lowered = lower_program(program, TPUV2)
+        with pytest.raises(ValueError, match="does not support"):
+            FastReplay(TPUV2).run(lowered, dtype="int8")
+
+
+class TestLoweredForm:
+    def test_kind_histogram_and_len(self, compiled_programs):
+        chip, program = compiled_programs[("TPUv4i", "mlp0", 1)]
+        lowered = lower_program(program, chip)
+        histogram = lowered.kind_histogram()
+        assert histogram["mxm"] > 0
+        assert histogram["bundle"] > 0
+        assert sum(histogram.values()) == len(lowered)
+
+    def test_arrays_export(self, compiled_programs):
+        chip, program = compiled_programs[("TPUv4i", "mlp0", 1)]
+        lowered = lower_program(program, chip)
+        columns = lowered.arrays()
+        if columns is None:  # pragma: no cover - numpy is baked in
+            pytest.skip("numpy unavailable")
+        assert set(columns) == {"kind", "a0", "a1", "a2", "f"}
+        assert all(len(col) == len(lowered) for col in columns.values())
+
+    def test_engines_per_level_matches_core(self):
+        from repro.sim.core import _ENGINES_PER_LEVEL
+
+        assert ENGINES_PER_LEVEL == _ENGINES_PER_LEVEL
+
+
+class TestLoweredCache:
+    def test_hits_misses_and_append_invalidation(self):
+        program = Program("cached", generation=4)
+        program.append(Bundle((Instruction(Opcode.MXM, (128, 128, 128)),)))
+        clear_lowered()
+        try:
+            first = lowered_program(program, TPUV4I)
+            second = lowered_program(program, TPUV4I)
+            assert first is second
+            assert lowered_cache_size() == 1
+            stats = lowered_cache_stats()
+            assert (stats.hits, stats.misses) == (1, 1)
+
+            # Mutating the program changes its signature: no stale reuse.
+            program.append(Bundle((Instruction(Opcode.MXM, (64, 64, 64)),)))
+            third = lowered_program(program, TPUV4I)
+            assert third is not second
+            assert len(third) == len(second) + 2  # bundle marker + mxm
+            assert lowered_cache_size() == 2
+        finally:
+            clear_lowered()
+
+    def test_distinct_chips_distinct_entries(self):
+        program = Program("multi", generation=4)
+        clear_lowered()
+        try:
+            lowered_program(program, TPUV4I)
+            assert lowered_cache_size() == 1
+            # A structurally identical but distinct Program object hits.
+            clone = Program("multi", generation=4)
+            lowered_program(clone, TPUV4I)
+            stats = lowered_cache_stats()
+            assert stats.hits == 1
+            assert stats.hit_rate == 0.5
+        finally:
+            clear_lowered()
+
+    def test_disabled_cache_lowers_fresh(self):
+        program = Program("fresh", generation=4)
+        clear_lowered()
+        try:
+            with lowered_cache_disabled():
+                a = lowered_program(program, TPUV4I)
+                b = lowered_program(program, TPUV4I)
+            assert a is not b
+            assert a == b
+            assert lowered_cache_size() == 0
+        finally:
+            clear_lowered()
+
+
+class TestGating:
+    def _mxm_program(self):
+        program = Program("gate", generation=4)
+        program.append(Bundle((Instruction(Opcode.MXM, (128, 128, 128)),)))
+        return program
+
+    def test_default_run_uses_fast_path(self):
+        clear_lowered()
+        try:
+            assert fastsim_enabled()
+            TensorCoreSim(TPUV4I).run(self._mxm_program())
+            assert lowered_cache_size() == 1  # routed through lowering
+        finally:
+            clear_lowered()
+
+    def test_env_gate_forces_interpreter(self, monkeypatch):
+        monkeypatch.setenv(ENV_FASTSIM, "0")
+        assert not fastsim_enabled()
+        clear_lowered()
+        try:
+            result = TensorCoreSim(TPUV4I).run(self._mxm_program())
+            assert lowered_cache_size() == 0  # never lowered
+            assert result.cycles >= 1
+        finally:
+            clear_lowered()
+        monkeypatch.setenv(ENV_FASTSIM, "off")
+        assert not fastsim_enabled()
+        monkeypatch.setenv(ENV_FASTSIM, "1")
+        assert fastsim_enabled()
+
+    def test_context_manager_forces_interpreter(self):
+        clear_lowered()
+        try:
+            with fastsim_disabled():
+                assert not fastsim_enabled()
+                with fastsim_disabled():  # reentrant
+                    assert not fastsim_enabled()
+                assert not fastsim_enabled()
+                TensorCoreSim(TPUV4I).run(self._mxm_program())
+            assert fastsim_enabled()
+            assert lowered_cache_size() == 0
+        finally:
+            clear_lowered()
+
+    def test_trace_runs_use_interpreter(self):
+        clear_lowered()
+        try:
+            result = TensorCoreSim(TPUV4I).run(self._mxm_program(),
+                                               trace=True)
+            assert result.trace is not None
+            assert len(result.trace.events) > 0
+            assert lowered_cache_size() == 0
+        finally:
+            clear_lowered()
+
+    def test_fast_result_carries_no_trace(self):
+        result = TensorCoreSim(TPUV4I).run(self._mxm_program())
+        assert result.trace is None
