@@ -47,3 +47,9 @@ def test_engine_benchmark(benchmark):
     # The lowered-IR replay kernel: >= 2x over the interpreter even with
     # a cold lowering on every program (the tentpole acceptance bar).
     assert result["speedup_fast_vs_interp"] >= 2.0
+    # Fault injection: the seeded sweep must reproduce itself exactly,
+    # and a zero-fault model must reproduce the baseline bit for bit.
+    assert result["fault_determinism"], (
+        "same seed must yield identical faulted serving stats")
+    assert result["zero_fault_identical"], (
+        "a zero-fault model must be bit-identical to the faultless path")

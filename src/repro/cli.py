@@ -9,6 +9,7 @@ Examples::
     python -m repro migrate --app cnn0 --source TPUv3 --target TPUv4i
     python -m repro engine stats
     python -m repro engine bench --workers 2 --output BENCH_engine.json
+    python -m repro faults --seed 3 --core-mtbf 0.5 --repair 0.1
 
 The CLI is a thin veneer over the public API; anything it prints can be
 reproduced programmatically with a few lines of `repro` calls.
@@ -182,6 +183,44 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import math
+
+    from repro.faults import FaultModel, fault_sweep
+
+    model = FaultModel(
+        seed=args.seed,
+        core_mtbf_s=args.core_mtbf if args.core_mtbf else math.inf,
+        core_repair_s=args.repair,
+        chip_mtbf_s=args.chip_mtbf if args.chip_mtbf else math.inf,
+        slowdown_mtbf_s=(args.slowdown_mtbf if args.slowdown_mtbf
+                         else math.inf),
+        retry_budget=args.retry_budget,
+    )
+    apps = args.apps.split(",") if args.apps else None
+    rows = fault_sweep(model, apps=apps, duration_s=args.duration,
+                       utilization=args.utilization)
+    print(model.describe())
+    table = Table(
+        ["chip", "app", "offered qps", "avail %", "retries", "dropped",
+         "lost batches", "capacity down %", "p99 ms", "p99 faulted ms",
+         "SLO viol %"],
+        title=f"Seeded fault sweep ({args.duration:.3g} s of traffic at "
+              f"{args.utilization:.0%} of SLO capacity)")
+    for row in rows:
+        table.add_row([
+            row.chip, row.app, row.offered_qps,
+            100.0 * row.faulted.availability,
+            row.faulted.retried_requests, row.faulted.dropped_requests,
+            row.faulted.lost_batches,
+            100.0 * row.faulted.lost_capacity_fraction,
+            row.baseline.p99_s * 1e3, row.faulted.p99_s * 1e3,
+            100.0 * row.faulted.slo_violation_fraction,
+        ])
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -239,6 +278,33 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--output", default="BENCH_engine.json",
                         help="where 'bench' writes its JSON record")
     engine.set_defaults(func=_cmd_engine)
+
+    faults = sub.add_parser(
+        "faults", help="seeded fault-injection sweep: availability and "
+                       "p99-under-faults per chip generation")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault + traffic seed (default 0)")
+    faults.add_argument("--core-mtbf", type=float, default=0.5,
+                        help="mean simulated seconds between core failures "
+                             "(0 disables; default 0.5)")
+    faults.add_argument("--chip-mtbf", type=float, default=0.0,
+                        help="mean simulated seconds between chip-wide "
+                             "outages (0 disables; default off)")
+    faults.add_argument("--slowdown-mtbf", type=float, default=0.0,
+                        help="mean simulated seconds between transient "
+                             "slowdowns (0 disables; default off)")
+    faults.add_argument("--repair", type=float, default=0.1,
+                        help="mean core repair time in simulated seconds")
+    faults.add_argument("--retry-budget", type=int, default=2,
+                        help="re-enqueues allowed per request before drop")
+    faults.add_argument("--duration", type=float, default=2.0,
+                        help="simulated traffic seconds per (chip, app)")
+    faults.add_argument("--utilization", type=float, default=0.5,
+                        help="offered load as a fraction of SLO capacity")
+    faults.add_argument("--apps", default=None,
+                        help="comma-separated app names "
+                             "(default: the DSE subset)")
+    faults.set_defaults(func=_cmd_faults)
     return parser
 
 

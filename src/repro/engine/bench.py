@@ -22,6 +22,15 @@ programs — the thing the lowered-IR/replay kernel optimizes:
 * ``fast_cold_s`` — one cold lowering + replay per program;
 * ``speedup_fast_vs_interp`` — their ratio (the PR-tracked headline).
 
+A sixth phase exercises the fault-injection subsystem:
+
+* ``faulted_sweep_s`` — one seeded faultless-vs-faulted serving sweep
+  (:func:`repro.faults.sweep.fault_sweep`) on TPUv4i;
+* ``fault_determinism`` — the same sweep again must match record for
+  record (ServingStats are exact dataclasses, so this is bit-level);
+* ``zero_fault_identical`` — a zero-fault :class:`~repro.faults.model.
+  FaultModel` must reproduce the faultless baseline bit for bit.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -104,6 +113,40 @@ def _bench_sim_path(grid, apps) -> dict:
     }
 
 
+def _bench_faults(apps: Sequence[str]) -> dict:
+    """Time a seeded fault sweep; assert determinism + zero-fault identity.
+
+    Kept intentionally small (one chip, the first two apps, 1 s of
+    traffic): the phase tracks the fault path's cost and its two
+    bit-identity contracts, not fleet-scale numbers.
+    """
+    from repro.arch.chip import TPUV4I
+    from repro.faults.model import FaultModel
+    from repro.faults.sweep import fault_sweep
+
+    bench_apps = tuple(apps)[:2]
+    model = FaultModel(seed=7, core_mtbf_s=0.25, core_repair_s=0.05,
+                       slowdown_mtbf_s=0.5)
+    t0 = time.perf_counter()
+    first = fault_sweep(model, apps=bench_apps, chips=(TPUV4I,),
+                        duration_s=1.0)
+    faulted_sweep_s = time.perf_counter() - t0
+
+    repeat = fault_sweep(model, apps=bench_apps, chips=(TPUV4I,),
+                         duration_s=1.0)
+    zero = fault_sweep(FaultModel(seed=7), apps=bench_apps, chips=(TPUV4I,),
+                       duration_s=1.0)
+    return {
+        "faulted_sweep_s": round(faulted_sweep_s, 4),
+        "fault_rows": len(first),
+        "fault_determinism": first == repeat,
+        "zero_fault_identical": all(
+            row.faulted == row.baseline for row in zero),
+        "min_availability": min(
+            (row.faulted.availability for row in first), default=1.0),
+    }
+
+
 def run_engine_benchmark(workers: Optional[int] = None,
                          app_names: Optional[Sequence[str]] = None,
                          ) -> dict:
@@ -166,6 +209,10 @@ def run_engine_benchmark(workers: Optional[int] = None,
         clear_shared_design_points()
         sim_record = _bench_sim_path(grid, apps)
 
+        # Fault injection: seeded sweep cost + bit-identity contracts.
+        clear_shared_design_points()
+        fault_record = _bench_faults(apps)
+
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
         record = {
@@ -186,6 +233,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             "speedup_warm_vs_cold": round(serial_cold_s / warm_s, 2),
             "deterministic": deterministic,
             **sim_record,
+            **fault_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -227,6 +275,11 @@ def render_benchmark(record: dict) -> str:
         f"{record['fast_cold_s']:.3f} s "
         f"({record['speedup_fast_vs_interp']:.2f}x, identical: "
         f"{record['fast_sim_identical']})",
+        f"  faulted sweep ({record['fault_rows']} rows): "
+        f"{record['faulted_sweep_s']:.3f} s, deterministic: "
+        f"{record['fault_determinism']}, zero-fault identical: "
+        f"{record['zero_fault_identical']}, min availability "
+        f"{record['min_availability']:.1%}",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

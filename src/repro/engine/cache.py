@@ -15,13 +15,21 @@ Values are opaque to the cache (SimResult, Evaluation, ...); keys come
 from :mod:`repro.engine.keys`, which folds in every chip/compiler field —
 invalidation is by construction, never by mtime.
 
-Writes are atomic (temp file + ``os.replace``), and a corrupt or
-unreadable disk entry is treated as a miss and removed, so a killed
-process cannot poison the cache.
+The disk tier is crash-safe end to end. Every write goes to a temp file
+first and lands via atomic ``os.replace``, so a killed process can never
+leave a truncated entry under a live name. Every entry carries a
+leading SHA-256 checksum over its payload, verified on read; an entry
+that fails the checksum — or fails to unpickle (including legacy
+pre-checksum entries) — is *quarantined*: moved to a ``quarantine/``
+subdirectory, logged, counted in :attr:`CacheStats.corrupt`, and
+treated as a miss so the value is recomputed. Corruption is therefore
+never fatal and never silently served.
 """
 
 from __future__ import annotations
 
+import hashlib
+import logging
 import os
 import json
 import pickle
@@ -40,6 +48,17 @@ DEFAULT_CACHE_DIR = ".repro_cache"
 ENV_DISABLE = "REPRO_CACHE"
 ENV_DIR = "REPRO_CACHE_DIR"
 
+#: On-disk entry format: magic + 32-byte SHA-256 of the payload + payload.
+#: Files without the magic are legacy plain pickles (still readable).
+_MAGIC = b"RPC1"
+_DIGEST_BYTES = 32
+
+#: Corrupt entries are moved here (relative to the cache dir), not deleted,
+#: so a surprising corruption can still be inspected post-mortem.
+QUARANTINE_DIR = "quarantine"
+
+_LOG = logging.getLogger(__name__)
+
 
 @dataclass
 class CacheStats:
@@ -49,6 +68,7 @@ class CacheStats:
     disk_hits: int = 0     # served from the disk tier (then promoted)
     misses: int = 0
     puts: int = 0
+    corrupt: int = 0       # disk entries quarantined (checksum/unpickle)
 
     @property
     def lookups(self) -> int:
@@ -65,6 +85,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "puts": self.puts,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
         }
 
@@ -188,6 +209,10 @@ class EvalCache:
                 path.unlink(missing_ok=True)
             for path in list(self._disk_dir.glob("*.json")):
                 path.unlink(missing_ok=True)
+            quarantine = self._disk_dir / QUARANTINE_DIR
+            if quarantine.is_dir():
+                for path in list(quarantine.iterdir()):
+                    path.unlink(missing_ok=True)
 
     def describe(self) -> str:
         disk = (f", disk {self.disk_entry_count()} entries / "
@@ -195,28 +220,58 @@ class EvalCache:
                 if self._disk_dir is not None else ", disk tier off")
         state = "enabled" if self._enabled else "DISABLED"
         s = self.stats
+        corrupt = f", {s.corrupt} quarantined" if s.corrupt else ""
         return (f"EvalCache ({state}): {self.entry_count()} entries / "
                 f"{self.size_bytes():,} B in memory{disk}; "
                 f"{s.hits} hits, {s.disk_hits} disk hits, {s.misses} misses "
-                f"({s.hit_rate:.0%} hit rate)")
+                f"({s.hit_rate:.0%} hit rate){corrupt}")
 
     # ------------------------------------------------------------- disk tier
 
     def _path(self, key: str) -> Path:
         return self._disk_dir / f"{key}.pkl"
 
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (never served, never fatal)."""
+        with self._lock:
+            self.stats.corrupt += 1
+        target_dir = self._disk_dir / QUARANTINE_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        sidecar = path.with_suffix(".json")
+        if sidecar.exists():
+            try:
+                os.replace(sidecar, target_dir / sidecar.name)
+            except OSError:
+                sidecar.unlink(missing_ok=True)
+        _LOG.warning("quarantined corrupt cache entry %s (%s); "
+                     "the value will be recomputed", key, reason)
+
     def _disk_read(self, key: str) -> Optional[Any]:
         if self._disk_dir is None:
             return None
         path = self._path(key)
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
+            raw = path.read_bytes()
         except FileNotFoundError:
             return None
+        except OSError:
+            return None
+        if raw.startswith(_MAGIC):
+            header = len(_MAGIC) + _DIGEST_BYTES
+            digest, payload = raw[len(_MAGIC):header], raw[header:]
+            if hashlib.sha256(payload).digest() != digest:
+                self._quarantine(key, path, "checksum mismatch")
+                return None
+        else:
+            payload = raw  # legacy pre-checksum entry: plain pickle
+        try:
+            return pickle.loads(payload)
         except Exception:
-            # Corrupt / truncated entry: drop it and recompute.
-            path.unlink(missing_ok=True)
+            self._quarantine(key, path, "unreadable pickle")
             return None
 
     def _disk_write(self, key: str, blob: bytes,
@@ -226,6 +281,8 @@ class EvalCache:
         fd, tmp = tempfile.mkstemp(dir=self._disk_dir, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
+                fh.write(_MAGIC)
+                fh.write(hashlib.sha256(blob).digest())
                 fh.write(blob)
             os.replace(tmp, path)
         except OSError:

@@ -15,6 +15,17 @@ Three properties the engine guarantees:
   :class:`~repro.engine.cache.EvalCache`, so a parallel cold sweep warms
   the parent exactly like a serial one.
 
+A fourth property is *crash tolerance*: a worker process dying (OOM
+kill, segfault, ``os._exit``) surfaces as
+:class:`~concurrent.futures.process.BrokenProcessPool` and poisons the
+whole pool. The sweeper keeps the already-yielded (ordered) prefix of
+results, retries the remainder on a fresh pool, and — if pools keep
+breaking — finishes the remainder serially in-process. Tasks are pure,
+so recomputation changes nothing: results and cache contents match the
+serial run exactly either way. Ordinary task exceptions (a ValueError
+from bad input) are *not* retried; they propagate unchanged, as in the
+serial loop.
+
 On Linux the pool forks, so workers inherit the parent's warm module and
 result caches at no cost; tasks already cached in the parent return
 without recomputation.
@@ -25,6 +36,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Optional, Sequence
 
 from repro.engine.cache import get_cache
@@ -68,20 +80,28 @@ class ParallelSweeper:
     pool is skipped entirely. Results are bit-identical either way, so
     the fallback is observable only as speed. ``force_parallel=True``
     opts out (tests of the pool plumbing itself).
+
+    ``pool_retries`` bounds how many *fresh* pools are tried after a
+    :class:`BrokenProcessPool` before the remaining items run serially;
+    only items whose results were not yet yielded are re-executed.
     """
 
     def __init__(self, workers: Optional[int] = None,
                  chunk_size: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 force_parallel: bool = False) -> None:
+                 force_parallel: bool = False,
+                 pool_retries: int = 1) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
+        if pool_retries < 0:
+            raise ValueError("pool_retries must be non-negative")
         self.workers = workers if workers is not None else available_workers()
         self.chunk_size = chunk_size
         self.start_method = start_method
         self.force_parallel = force_parallel
+        self.pool_retries = pool_retries
 
     def effective_workers(self, item_count: int) -> int:
         """Pool width that actually pays: capped by CPU affinity and grid."""
@@ -107,6 +127,37 @@ class ParallelSweeper:
         # ~4 chunks per worker balances load without per-item IPC.
         return max(1, -(-count // (self.workers * 4)))
 
+    def _resilient_map(self, task: Callable[[Any], Any], items: list[Any],
+                       pool_size: int) -> list[Any]:
+        """Pool map that survives worker crashes.
+
+        ``executor.map`` yields results in input order, so on a
+        :class:`BrokenProcessPool` the consumed prefix is exact — those
+        items are done and correct. The remainder is retried on a fresh
+        pool up to ``pool_retries`` times, then finished serially. Tasks
+        are pure, so the merged result equals the all-serial run.
+        """
+        results: list[Any] = []
+        for _attempt in range(1 + self.pool_retries):
+            pending = items[len(results):]
+            if not pending:
+                return results
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(pool_size, len(pending)),
+                        mp_context=self._context()) as pool:
+                    for result in pool.map(
+                            task, pending,
+                            chunksize=self._chunksize(len(pending))):
+                        results.append(result)
+                return results
+            except BrokenProcessPool:
+                continue  # crashed worker: fresh pool for the remainder
+        # Pools keep dying (or none survive a single attempt): the serial
+        # loop cannot crash the parent, so it is the terminal fallback.
+        results.extend(task(item) for item in items[len(results):])
+        return results
+
     # --------------------------------------------------------------------- map
 
     def map(self, task: Callable[[Any], Any],
@@ -114,16 +165,14 @@ class ParallelSweeper:
         """``[task(i) for i in items]``, possibly across processes.
 
         ``task`` must be a module-level callable (picklable). Results are
-        returned in input order regardless of completion order.
+        returned in input order regardless of completion order, and
+        worker crashes degrade to retry/serial instead of aborting.
         """
         items = list(items)
         pool_size = self.effective_workers(len(items))
         if pool_size <= 1 or len(items) <= 1:
             return [task(item) for item in items]
-        with ProcessPoolExecutor(max_workers=pool_size,
-                                 mp_context=self._context()) as pool:
-            return list(pool.map(task, items,
-                                 chunksize=self._chunksize(len(items))))
+        return self._resilient_map(task, items, pool_size)
 
     def map_cached(self, task: Callable[[Any], Any],
                    items: Sequence[Any]) -> list[Any]:
@@ -131,7 +180,10 @@ class ParallelSweeper:
 
         Serial execution updates the global cache directly; parallel
         execution ships each worker's new entries back and absorbs them,
-        so a subsequent warm sweep hits in-process either way.
+        so a subsequent warm sweep hits in-process either way. A crashed
+        worker loses nothing: its chunk is recomputed (fresh pool, then
+        serial), and only complete (result, entries) pairs are merged,
+        so the cache never holds a partial record.
         """
         items = list(items)
         if self.effective_workers(len(items)) <= 1 or len(items) <= 1:

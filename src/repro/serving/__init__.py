@@ -6,6 +6,11 @@ synthetic request streams: dynamic batching under an SLO shows how the
 latency budget — never an architectural cap — picks the batch size, and
 the multi-tenant scheduler quantifies weight-swap costs vs CMEM
 partitioning when several models share one chip.
+
+Failures are first-class: ``ServingSimulator.simulate`` accepts a
+seeded :class:`~repro.faults.model.FaultModel` (lost batches are
+retried on surviving cores under a budget), and :func:`plan_fleet`
+sizes N+k fleets whose SLO holds with ``k`` chips failed.
 """
 
 from repro.serving.slo import Slo, percentile

@@ -4,6 +4,11 @@ The purchasing decision behind Lesson 3, made concrete: given a target
 aggregate rate and the app's latency SLO, find the largest SLO-feasible
 batch, the per-chip throughput at that batch, the chip count (with
 headroom for diurnal peaks), and the fleet's lifetime cost.
+
+Resilient fleets are N+k: ``spare_chips=k`` provisions ``k`` extra hot
+chips so the SLO still holds with any ``k`` chips failed, and
+:attr:`FleetPlan.resilience_premium` prices what that insurance costs —
+the Lesson 3 number under failures.
 """
 
 from __future__ import annotations
@@ -30,27 +35,53 @@ class FleetPlan:
     chips: int
     fleet_tco_usd: float
     fleet_power_w: float
+    spare_chips: int = 0
 
     @property
     def cost_per_kqps_usd(self) -> float:
         """Lifetime dollars per thousand served qps — the comparison metric."""
         return self.fleet_tco_usd / (self.target_qps / 1000.0)
 
+    @property
+    def serving_chips(self) -> int:
+        """Chips needed to hold the SLO with every spare failed."""
+        return self.chips - self.spare_chips
+
+    @property
+    def resilience_premium(self) -> float:
+        """Fractional TCO cost of the spares over the N+0 fleet.
+
+        TCO is linear in chips, so k spares over n serving chips cost
+        exactly k/n extra — 0.0 for an N+0 plan.
+        """
+        return self.spare_chips / self.serving_chips
+
     def describe(self) -> str:
-        return (f"{self.workload} @ {self.target_qps:.0f} qps on {self.chip}: "
+        text = (f"{self.workload} @ {self.target_qps:.0f} qps on {self.chip}: "
                 f"{self.chips} chips (batch {self.slo_batch}, "
                 f"{self.per_chip_qps:.0f} qps/chip), "
                 f"${self.fleet_tco_usd:,.0f} 3-yr TCO, "
                 f"{self.fleet_power_w / 1000:.1f} kW")
+        if self.spare_chips:
+            text += (f", N+{self.spare_chips} spares "
+                     f"({self.resilience_premium:.1%} TCO premium)")
+        return text
 
 
 def plan_fleet(point: DesignPoint, spec: WorkloadSpec, target_qps: float, *,
                slo: Optional[Slo] = None,
-               peak_headroom: float = 1.4) -> FleetPlan:
+               peak_headroom: float = 1.4,
+               spare_chips: int = 0) -> FleetPlan:
     """Size a fleet to serve ``target_qps`` under the app's SLO.
 
     ``peak_headroom`` provisions for diurnal peaks above the mean rate
     (a 1.4x peak-to-mean is typical of user-facing traffic).
+
+    ``spare_chips`` makes the plan N+k: k additional hot chips beyond
+    the SLO-holding count, so the fleet still meets the target with k
+    chips failed. Spares are live (they draw power and cost TCO); the
+    plan's :attr:`FleetPlan.resilience_premium` reports what the
+    insurance costs.
 
     Raises ValueError if no batch size meets the SLO on this chip — the
     workload simply cannot be served compliantly on this design.
@@ -59,6 +90,8 @@ def plan_fleet(point: DesignPoint, spec: WorkloadSpec, target_qps: float, *,
         raise ValueError("target rate must be positive")
     if peak_headroom < 1.0:
         raise ValueError("headroom must be >= 1")
+    if spare_chips < 0:
+        raise ValueError("spare chips must be non-negative")
     limit = slo if slo is not None else Slo(spec.slo_ms / 1e3)
 
     batch = point.max_batch_under_slo(spec, limit.limit_s)
@@ -67,7 +100,9 @@ def plan_fleet(point: DesignPoint, spec: WorkloadSpec, target_qps: float, *,
             f"{spec.name} cannot meet its {limit.limit_s * 1e3:.0f} ms SLO "
             f"on {point.chip.name} at any batch size")
     evaluation = point.evaluate(spec, batch)
-    chips = max(1, math.ceil(target_qps * peak_headroom / evaluation.chip_qps))
+    serving = max(1, math.ceil(target_qps * peak_headroom
+                               / evaluation.chip_qps))
+    chips = serving + spare_chips
     tco: ChipTco = chip_tco(point.chip, evaluation.chip_power_w)
     return FleetPlan(
         workload=spec.name,
@@ -78,4 +113,5 @@ def plan_fleet(point: DesignPoint, spec: WorkloadSpec, target_qps: float, *,
         chips=chips,
         fleet_tco_usd=chips * tco.total_usd,
         fleet_power_w=chips * evaluation.chip_power_w,
+        spare_chips=spare_chips,
     )

@@ -5,13 +5,26 @@ Feeds a request stream through a dynamic batcher onto a chip's cores
 compute latencies come from the cycle simulator, memoized per compiled
 batch size, so a multi-second traffic simulation costs only a handful of
 program simulations.
+
+Failures are first-class inputs: :meth:`ServingSimulator.simulate`
+optionally consumes a :class:`~repro.faults.model.FaultModel` (or a
+hand-built :class:`~repro.faults.model.FaultSchedule`). A core failing
+mid-batch destroys the in-flight batch; surviving requests are
+re-enqueued (keeping their original arrival times) and retried on
+whatever cores remain, bounded by the model's retry budget and timeout.
+Cores inside an outage window accept no work until repaired, and
+transient slowdown windows stretch batch compute. The fault-free path
+and the zero-fault model run the *same* event loop and produce
+bit-identical :class:`ServingStats` (asserted in ``tests/test_faults.py``
+and the engine benchmark).
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.core.design_point import DesignPoint
 from repro.serving.batching import BatchPolicy
@@ -19,10 +32,23 @@ from repro.serving.slo import Slo, percentile
 from repro.workloads.generator import Request
 from repro.workloads.models import WorkloadSpec
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.model import FaultModel, FaultSchedule
+
+#: Retry policy applied when a bare FaultSchedule is passed without a
+#: FaultModel carrying its own budget/timeout.
+DEFAULT_RETRY_BUDGET = 2
+DEFAULT_RETRY_TIMEOUT_S = math.inf
+
 
 @dataclass(frozen=True)
 class ServingStats:
-    """Latency/throughput summary of one serving simulation."""
+    """Latency/throughput summary of one serving simulation.
+
+    The fault fields keep their defaults on a faultless run, so a
+    zero-fault simulation compares equal — field for field, bit for
+    bit — to one that never saw a fault model at all.
+    """
 
     workload: str
     chip: str
@@ -34,12 +60,30 @@ class ServingStats:
     mean_batch: float
     throughput_qps: float
     slo_violation_fraction: float
+    availability: float = 1.0          # served / offered requests
+    retried_requests: int = 0          # re-enqueue events after batch loss
+    dropped_requests: int = 0          # budget/timeout exhausted, never served
+    lost_batches: int = 0              # in-flight batches destroyed
+    lost_capacity_fraction: float = 0.0  # core-seconds down / core-seconds
+
+    @property
+    def served_requests(self) -> int:
+        """Requests that actually completed (offered minus dropped)."""
+        return self.requests - self.dropped_requests
 
     def describe(self) -> str:
-        return (f"{self.workload} on {self.chip}: {self.requests} reqs, "
+        base = (f"{self.workload} on {self.chip}: {self.requests} reqs, "
                 f"p99 {self.p99_s * 1e3:.2f} ms, mean batch "
                 f"{self.mean_batch:.1f}, {self.throughput_qps:.0f} qps, "
                 f"{self.slo_violation_fraction:.1%} SLO violations")
+        if (self.availability < 1.0 or self.retried_requests
+                or self.lost_batches):
+            base += (f", {self.availability:.2%} available "
+                     f"({self.retried_requests} retries, "
+                     f"{self.dropped_requests} dropped, "
+                     f"{self.lost_batches} batches lost, "
+                     f"{self.lost_capacity_fraction:.1%} capacity down)")
+        return base
 
 
 class ServingSimulator:
@@ -67,6 +111,20 @@ class ServingSimulator:
                 self.spec, padded)
         return self._latency_cache[padded]
 
+    def seed_latencies(self, table: Mapping[int, float]) -> None:
+        """Pre-seed the padded-batch -> latency memo.
+
+        For latencies obtained outside the design point's default path —
+        an int8-retargeted compile on a chip without bf16, or a synthetic
+        table in tests. Keys must be padded batch steps.
+        """
+        for batch, latency in table.items():
+            if batch < 1:
+                raise ValueError("batch must be >= 1")
+            if latency < 0:
+                raise ValueError("latency must be non-negative")
+        self._latency_cache.update(table)
+
     def prewarm(self, workers: Optional[int] = None) -> dict[int, float]:
         """Precompute latencies for every padded batch step, in parallel.
 
@@ -83,8 +141,17 @@ class ServingSimulator:
         self._latency_cache.update(grid)
         return dict(grid)
 
-    def simulate(self, requests: Sequence[Request]) -> ServingStats:
-        """Run the event loop over a time-sorted request stream."""
+    def simulate(self, requests: Sequence[Request],
+                 faults: Optional["FaultModel"] = None,
+                 schedule: Optional["FaultSchedule"] = None) -> ServingStats:
+        """Run the event loop over a time-sorted request stream.
+
+        ``faults`` injects the model's seeded failure schedule;
+        ``schedule`` supplies a pre-built (or hand-written) one directly
+        and wins when both are given. With neither — or with a
+        zero-fault model — the loop reduces to the faultless arithmetic
+        and the returned stats are bit-identical to a plain run.
+        """
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
         arrivals = [r.arrival_s for r in requests]
@@ -92,56 +159,127 @@ class ServingSimulator:
             raise ValueError("requests must be sorted by arrival time")
 
         cores = self.point.chip.cores
-        servers = [0.0] * cores
+        if faults is not None:
+            retry_budget = faults.retry_budget
+            retry_timeout = faults.retry_timeout_s
+            if schedule is None and not faults.zero_fault:
+                schedule = faults.schedule(
+                    cores, arrivals[-1] + faults.horizon_pad_s)
+        else:
+            retry_budget = DEFAULT_RETRY_BUDGET
+            retry_timeout = DEFAULT_RETRY_TIMEOUT_S
+        if schedule is not None and schedule.cores != cores:
+            raise ValueError(
+                f"schedule built for {schedule.cores} cores, chip has {cores}")
+        if schedule is not None and schedule.is_empty:
+            schedule = None  # empty timeline: take the faultless fast path
+
+        servers = [(0.0, core) for core in range(cores)]
         heapq.heapify(servers)
 
         latencies: list[float] = []
         batch_sizes: list[int] = []
         index = 0
-        queue: list[float] = []  # arrival times of queued requests
+        queue: list[tuple[float, int]] = []  # (arrival time, retries so far)
         total = len(arrivals)
         last_completion = 0.0
+        retried = dropped = lost_batches = 0
 
         while index < total or queue:
             if not queue:
-                queue.append(arrivals[index])
+                queue.append((arrivals[index], 0))
                 index += 1
-            server_free = servers[0]
+            server_free, core = servers[0]
+            if schedule is not None and math.isinf(server_free):
+                # Every core is gone for good: nothing pending can ever
+                # launch, so the remaining stream is lost outright.
+                dropped += len(queue) + (total - index)
+                queue.clear()
+                index = total
+                break
             # Absorb arrivals that land before this batch could launch.
             while (index < total and len(queue) < self.policy.max_batch):
-                deadline = queue[0] + self.policy.max_wait_s
+                deadline = queue[0][0] + self.policy.max_wait_s
                 horizon = max(server_free, deadline)
                 if arrivals[index] <= horizon:
-                    queue.append(arrivals[index])
+                    queue.append((arrivals[index], 0))
                     index += 1
                 else:
                     break
             if len(queue) >= self.policy.max_batch:
-                ready = queue[self.policy.max_batch - 1]
+                ready = queue[self.policy.max_batch - 1][0]
             else:
-                ready = queue[0] + self.policy.max_wait_s
+                ready = queue[0][0] + self.policy.max_wait_s
             launch = max(server_free, ready)
 
+            if schedule is not None:
+                down_until = schedule.outage_end(core, launch)
+                if down_until is not None:
+                    # Core is mid-repair at launch time: it takes no work
+                    # until the outage ends; surviving cores go first.
+                    heapq.heapreplace(servers, (down_until, core))
+                    continue
+
             size = min(len(queue), self.policy.max_batch)
+            latency = self.batch_latency_s(size)
+            if schedule is not None:
+                factor = schedule.slowdown_factor(core, launch)
+                if factor != 1.0:
+                    latency *= factor
+            completion = launch + latency
+
+            if schedule is not None:
+                failure = schedule.first_failure_between(
+                    core, launch, completion)
+                if failure is not None:
+                    # The core died mid-batch: the whole in-flight batch
+                    # is lost. Requests under budget and timeout keep
+                    # their arrival times and rejoin the queue head.
+                    fail_start, fail_end = failure
+                    lost_batches += 1
+                    batch, queue = queue[:size], queue[size:]
+                    survivors: list[tuple[float, int]] = []
+                    for arrival, retries in batch:
+                        if (retries + 1 > retry_budget
+                                or fail_start - arrival > retry_timeout):
+                            dropped += 1
+                        else:
+                            retried += 1
+                            survivors.append((arrival, retries + 1))
+                    queue = survivors + queue
+                    heapq.heapreplace(servers, (fail_end, core))
+                    continue
+
             batch, queue = queue[:size], queue[size:]
-            completion = launch + self.batch_latency_s(size)
-            heapq.heapreplace(servers, completion)
-            latencies.extend(completion - a for a in batch)
+            heapq.heapreplace(servers, (completion, core))
+            latencies.extend(completion - a for a, _ in batch)
             batch_sizes.append(size)
             last_completion = max(last_completion, completion)
 
         duration = max(last_completion, arrivals[-1]) - arrivals[0]
+        served = len(latencies)
+        lost_capacity = 0.0
+        if schedule is not None and duration > 0:
+            lost_capacity = (
+                schedule.downtime_core_s(arrivals[0], arrivals[0] + duration)
+                / (cores * duration))
         return ServingStats(
             workload=self.spec.name,
             chip=self.point.chip.name,
             requests=total,
             duration_s=duration,
-            p50_s=percentile(latencies, 50),
-            p95_s=percentile(latencies, 95),
-            p99_s=percentile(latencies, 99),
-            mean_batch=sum(batch_sizes) / len(batch_sizes),
-            throughput_qps=total / duration if duration > 0 else float("inf"),
+            p50_s=percentile(latencies, 50) if latencies else 0.0,
+            p95_s=percentile(latencies, 95) if latencies else 0.0,
+            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            mean_batch=(sum(batch_sizes) / len(batch_sizes)
+                        if batch_sizes else 0.0),
+            throughput_qps=served / duration if duration > 0 else 0.0,
             slo_violation_fraction=self.slo.violation_fraction(latencies),
+            availability=served / total,
+            retried_requests=retried,
+            dropped_requests=dropped,
+            lost_batches=lost_batches,
+            lost_capacity_fraction=lost_capacity,
         )
 
     def max_slo_batch(self) -> int:

@@ -7,6 +7,7 @@ so simulation results are reproducible run to run and in tests.
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, TypeVar
 
 import numpy as np
@@ -53,6 +54,28 @@ class DeterministicRng:
             if now >= duration_s:
                 return arrivals
             arrivals.append(now)
+
+    def event_times(self, mean_interval_s: float,
+                    horizon_s: float) -> List[float]:
+        """Timestamps of a Poisson event process over ``[0, horizon_s)``.
+
+        Like :meth:`poisson_arrivals` but parameterized by the mean gap
+        (an MTBF, say) instead of a rate, and tolerant of *no* events: an
+        infinite mean interval — "this never fails" — returns an empty
+        list without consuming any randomness.
+        """
+        if mean_interval_s <= 0:
+            raise ValueError(
+                f"mean interval must be positive, got {mean_interval_s}")
+        if math.isinf(mean_interval_s) or horizon_s <= 0:
+            return []
+        times: List[float] = []
+        now = 0.0
+        while True:
+            now += float(self._gen.exponential(mean_interval_s))
+            if now >= horizon_s:
+                return times
+            times.append(now)
 
     def lognormal(self, mean: float, sigma: float = 0.25) -> float:
         """A positive sample with the given *linear-space* mean.

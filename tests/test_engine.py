@@ -9,6 +9,7 @@ and the simulator reentrancy the process pool relies on.
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -35,7 +36,7 @@ from repro.engine import (
     engine_disabled,
     eval_key,
 )
-from repro.engine.cache import get_cache
+from repro.engine.cache import get_cache, set_cache
 from repro.serving.batching import BatchPolicy
 from repro.serving.server import ServingSimulator
 from repro.serving.slo import Slo
@@ -309,3 +310,162 @@ class TestCachePlumbing:
         assert 0.0 < cache.stats.hit_rate < 1.0
         assert cache.size_bytes() >= len(pickle.dumps("value"))
         assert "entries" in cache.describe()
+
+
+# Crash-injection tasks must live at module level (picklable). The
+# sentinel file makes the crash one-shot: the first worker to see it
+# removes it and hard-kills itself, so the retry pool runs clean.
+_CRASH_ENV = "REPRO_TEST_CRASH_SENTINEL"
+
+
+def _consume_crash_sentinel() -> bool:
+    sentinel = os.environ.get(_CRASH_ENV)
+    if not sentinel:
+        return False
+    try:
+        os.remove(sentinel)
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def _square_crash_once(x: int) -> int:
+    if x == 7 and _consume_crash_sentinel():
+        os._exit(1)  # simulate an OOM kill: poisons the whole pool
+    return x * x
+
+
+def _square_in_parent_only(payload: tuple[int, int]) -> int:
+    x, parent_pid = payload
+    if os.getpid() != parent_pid:
+        os._exit(1)  # every pool attempt dies; only serial can finish
+    return x * x
+
+
+def _square_reject_negative(x: int) -> int:
+    if x < 0:
+        raise ValueError("negative input")
+    return x * x
+
+
+def _cached_square_crash_once(x: int) -> int:
+    if x == 5 and _consume_crash_sentinel():
+        os._exit(1)
+    cache = get_cache()
+    key = f"crash-test:{x}"
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    cache.put(key, x * x)
+    return x * x
+
+
+class TestSweeperCrashTolerance:
+    """A dying worker degrades to retry/serial, never to a wrong answer."""
+
+    def test_worker_crash_retried_on_fresh_pool(self, tmp_path, monkeypatch):
+        sentinel = tmp_path / "crash-once"
+        sentinel.touch()
+        monkeypatch.setenv(_CRASH_ENV, str(sentinel))
+        items = list(range(23))
+        sweeper = ParallelSweeper(workers=2, force_parallel=True)
+        assert sweeper.map(_square_crash_once, items) == [x * x for x in items]
+        assert not sentinel.exists()  # the crash really happened
+
+    def test_unbroken_pools_fall_back_to_serial(self):
+        items = [(x, os.getpid()) for x in range(8)]
+        sweeper = ParallelSweeper(workers=2, force_parallel=True,
+                                  pool_retries=1)
+        assert (sweeper.map(_square_in_parent_only, items)
+                == [x * x for x in range(8)])
+
+    def test_task_exceptions_propagate_not_retried(self):
+        sweeper = ParallelSweeper(workers=2, force_parallel=True)
+        with pytest.raises(ValueError, match="negative"):
+            sweeper.map(_square_reject_negative, [1, 2, -3, 4])
+
+    def test_crash_during_map_cached_keeps_cache_consistent(
+            self, tmp_path, monkeypatch):
+        """Satellite: parallel-with-crash equals serial, cache intact."""
+        sentinel = tmp_path / "crash-once"
+        sentinel.touch()
+        monkeypatch.setenv(_CRASH_ENV, str(sentinel))
+        items = list(range(12))
+        previous = set_cache(EvalCache())
+        try:
+            crashed = ParallelSweeper(
+                workers=2, force_parallel=True).map_cached(
+                    _cached_square_crash_once, items)
+            parallel_cache = {k: get_cache().get(k)
+                              for k in get_cache().keys()}
+            set_cache(EvalCache())
+            serial = ParallelSweeper(workers=1).map_cached(
+                _cached_square_crash_once, items)
+            serial_cache = {k: get_cache().get(k) for k in get_cache().keys()}
+        finally:
+            set_cache(previous)
+        assert not sentinel.exists()
+        assert crashed == serial == [x * x for x in items]
+        # Every item's entry was merged; no partial records either way.
+        assert parallel_cache == serial_cache
+        assert set(parallel_cache) == {f"crash-test:{x}" for x in items}
+
+    def test_pool_retries_validated(self):
+        with pytest.raises(ValueError):
+            ParallelSweeper(pool_retries=-1)
+
+
+class TestDiskTierIntegrity:
+    """Checksummed, atomically-written entries; corruption is never fatal."""
+
+    def test_entries_carry_magic_and_checksum(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path)
+        cache.put("k1", {"v": 42})
+        raw = (tmp_path / "k1.pkl").read_bytes()
+        assert raw.startswith(b"RPC1")
+        assert not list(tmp_path.glob("*.tmp"))  # temp files never linger
+
+    def test_bitflip_quarantined_and_recomputed(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path)
+        cache.put("k1", {"v": 42})
+        path = tmp_path / "k1.pkl"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip one payload bit
+        path.write_bytes(bytes(raw))
+
+        reader = EvalCache(disk_dir=tmp_path)
+        assert reader.get("k1") is None  # a miss, not an exception
+        assert reader.stats.corrupt == 1
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / "k1.pkl").exists()
+        assert "quarantined" in reader.describe()
+
+        # Recompute-and-store works over the quarantined name.
+        reader.put("k1", {"v": 42})
+        assert EvalCache(disk_dir=tmp_path).get("k1") == {"v": 42}
+
+    def test_truncated_entry_quarantined(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path)
+        cache.put("k1", [1, 2, 3])
+        path = tmp_path / "k1.pkl"
+        path.write_bytes(path.read_bytes()[:10])  # torn write, magic intact
+        reader = EvalCache(disk_dir=tmp_path)
+        assert reader.get("k1") is None
+        assert reader.stats.corrupt == 1
+
+    def test_legacy_plain_pickle_still_readable(self, tmp_path):
+        (tmp_path / "old.pkl").write_bytes(pickle.dumps(123))
+        reader = EvalCache(disk_dir=tmp_path)
+        assert reader.get("old") == 123
+        assert reader.stats.corrupt == 0
+
+    def test_clear_empties_quarantine(self, tmp_path):
+        cache = EvalCache(disk_dir=tmp_path)
+        cache.put("k1", "value")
+        path = tmp_path / "k1.pkl"
+        path.write_bytes(b"RPC1" + b"\x00" * 40)
+        assert cache.get("k1") == "value"  # memory tier still serves it
+        fresh = EvalCache(disk_dir=tmp_path)
+        assert fresh.get("k1") is None
+        fresh.clear(disk=True)
+        assert not list((tmp_path / "quarantine").iterdir())

@@ -47,3 +47,41 @@ class TestPlanFleet:
     def test_describe(self, v4i_point):
         plan = plan_fleet(v4i_point, app_by_name("cnn0"), 10_000.0)
         assert "chips" in plan.describe()
+
+
+class TestResilientFleet:
+    """N+k provisioning: the SLO holds with k chips failed."""
+
+    def test_spares_add_whole_chips(self, v4i_point):
+        spec = app_by_name("cnn0")
+        base = plan_fleet(v4i_point, spec, 20_000.0)
+        resilient = plan_fleet(v4i_point, spec, 20_000.0, spare_chips=2)
+        assert resilient.chips == base.chips + 2
+        assert resilient.spare_chips == 2
+        assert resilient.serving_chips == base.chips
+        # With every spare failed, capacity still covers peak load.
+        survivors = resilient.chips - resilient.spare_chips
+        assert survivors * resilient.per_chip_qps >= 20_000.0 * 1.4
+
+    def test_premium_prices_the_insurance(self, v4i_point):
+        spec = app_by_name("cnn0")
+        base = plan_fleet(v4i_point, spec, 20_000.0)
+        resilient = plan_fleet(v4i_point, spec, 20_000.0, spare_chips=3)
+        assert base.spare_chips == 0
+        assert base.resilience_premium == 0.0
+        # TCO and power are linear in chips, so k spares cost k/n extra.
+        assert resilient.resilience_premium == pytest.approx(3 / base.chips)
+        assert resilient.fleet_tco_usd == pytest.approx(
+            base.fleet_tco_usd * resilient.chips / base.chips)
+        assert resilient.fleet_power_w == pytest.approx(
+            base.fleet_power_w * resilient.chips / base.chips)
+
+    def test_negative_spares_rejected(self, v4i_point):
+        with pytest.raises(ValueError):
+            plan_fleet(v4i_point, app_by_name("cnn0"), 1000.0, spare_chips=-1)
+
+    def test_describe_mentions_spares(self, v4i_point):
+        plan = plan_fleet(v4i_point, app_by_name("cnn0"), 10_000.0,
+                          spare_chips=2)
+        assert "N+2" in plan.describe()
+        assert "premium" in plan.describe()

@@ -163,6 +163,23 @@ class TestServingSimulator:
         # Overflow waves wait for a server, so the tail exceeds the head.
         assert stats.p99_s > stats.p50_s
 
+    def test_zero_duration_throughput_is_zero(self, v4i_point_module):
+        """Regression: an instantaneous stream used to report inf qps."""
+        import math
+
+        from repro.workloads import Request
+
+        spec = app_by_name("cnn0")
+        server = ServingSimulator(
+            v4i_point_module, spec,
+            BatchPolicy(max_batch=1, max_wait_s=0.0),
+            Slo(spec.slo_ms / 1e3))
+        server.seed_latencies({1: 0.0})  # zero wait + zero compute
+        stats = server.simulate([Request(0.0, "c")])
+        assert stats.duration_s == 0.0
+        assert stats.throughput_qps == 0.0
+        assert math.isfinite(stats.throughput_qps)
+
 
 class TestMultiTenancy:
     def _sim(self, point):
