@@ -53,3 +53,13 @@ def test_engine_benchmark(benchmark):
         "same seed must yield identical faulted serving stats")
     assert result["zero_fault_identical"], (
         "a zero-fault model must be bit-identical to the faultless path")
+    # Observability: instrumentation may never perturb results, traces
+    # must serialize byte-identically, and the disabled guards must cost
+    # (analytically bounded) under 2% of the uninstrumented wall time.
+    assert result["obs_identical"], (
+        "metrics-on and metrics-off runs must be bit-identical")
+    assert result["trace_deterministic"], (
+        "two identical runs must export byte-identical Chrome traces")
+    assert result["obs_disabled_overhead_pct"] < 2.0, (
+        f"disabled-guard overhead bound "
+        f"{result['obs_disabled_overhead_pct']}% >= 2%")

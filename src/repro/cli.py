@@ -10,6 +10,8 @@ Examples::
     python -m repro engine stats
     python -m repro engine bench --workers 2 --output BENCH_engine.json
     python -m repro faults --seed 3 --core-mtbf 0.5 --repair 0.1
+    python -m repro trace resnet50 tpuv4i --out trace.json
+    python -m repro metrics --app cnn0 --chip TPUv4i
 
 The CLI is a thin veneer over the public API; anything it prints can be
 reproduced programmatically with a few lines of `repro` calls.
@@ -221,6 +223,103 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Friendly aliases for the observability commands, which are typed by
+#: hand far more often than scripted: the paper's model names map onto
+#: the zoo's internal ones.
+_APP_ALIASES = {
+    "resnet50": "cnn0",
+    "resnet": "cnn0",
+    "bert": "bert0",
+    "lstm": "rnn0",
+}
+
+
+def _resolve_app(name: str):
+    """App lookup, case-insensitive and alias-aware (trace/metrics only)."""
+    lowered = name.lower()
+    try:
+        return app_by_name(_APP_ALIASES.get(lowered, lowered))
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; try one of "
+            f"{[s.name for s in PRODUCTION_APPS]} or an alias like "
+            f"{sorted(_APP_ALIASES)}") from None
+
+
+def _resolve_chip(name: str):
+    """Chip lookup, case-insensitive (trace/metrics only)."""
+    for chip in GENERATIONS:
+        if chip.name.lower() == name.lower():
+            return chip
+    return chip_by_name(name)  # preserves the canonical error message
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import build_trace, profile_result
+
+    spec = _resolve_app(args.app)
+    chip = _resolve_chip(args.chip)
+    traced = build_trace(spec, chip, batch=args.batch, dtype=args.dtype,
+                         serve=not args.no_serve, seed=args.seed)
+    payload = traced.tracer.export_json()
+    with open(args.out, "w") as fh:
+        fh.write(payload)
+    summary = traced.summary_dict()
+    print(f"wrote {args.out}: {summary['spans']} spans "
+          f"({len(payload):,} bytes) for {summary['app']} on "
+          f"{summary['chip']} (batch {summary['batch']}, "
+          f"{summary['dtype']})")
+    if traced.tracer.truncated:
+        print("warning: span capacity reached; trace is truncated")
+    print(profile_result(traced.result).render())
+    if traced.serving is not None:
+        print(f"  serve phase: {summary['served_requests']} requests "
+              "replayed on the simulated clock")
+    print("open chrome://tracing or https://ui.perfetto.dev and load "
+          f"{args.out} to inspect the timeline")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        collecting_metrics,
+        profile_result,
+        render_snapshot,
+        tier_report,
+    )
+    from repro.engine.cache import EvalCache
+    from repro.serving import BatchPolicy, ServingSimulator, Slo
+    from repro.workloads import RequestGenerator
+
+    spec = _resolve_app(args.app)
+    chip = _resolve_chip(args.chip)
+    with collecting_metrics() as registry:
+        point = DesignPoint(chip, cache=EvalCache(enabled=args.cache))
+        batch = args.batch or spec.default_batch
+        result = point.run(spec, batch)
+        evaluation = point.evaluate(spec, batch)
+        slo = Slo(spec.slo_ms / 1e3)
+        server = ServingSimulator(
+            point, spec,
+            BatchPolicy(max_batch=max(batch, 1),
+                        max_wait_s=slo.limit_s / 4.0),
+            slo)
+        rate = args.utilization * chip.cores * batch / result.seconds
+        requests = RequestGenerator(args.seed).poisson(
+            spec.name, rate, args.duration)
+        server.simulate(requests)
+        snapshot = registry.snapshot()
+    print(f"{spec.name} on {chip.name} (batch {batch}): "
+          f"{evaluation.chip_qps:.0f} qps, "
+          f"{evaluation.chip_power_w:.1f} W")
+    print(profile_result(result).render())
+    print()
+    print(tier_report(snapshot))
+    print()
+    print(render_snapshot(snapshot))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +404,39 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated app names "
                              "(default: the DSE subset)")
     faults.set_defaults(func=_cmd_faults)
+
+    trace = sub.add_parser(
+        "trace", help="deterministic Chrome trace of one app on one chip "
+                      "(compile -> lower -> replay -> serve)")
+    trace.add_argument("app", help="app name or alias (e.g. resnet50)")
+    trace.add_argument("chip", help="chip name, case-insensitive")
+    trace.add_argument("--batch", type=int, default=None)
+    trace.add_argument("--dtype", default=None,
+                       help="simulation dtype (default: bf16 where "
+                            "supported, else the chip's int8 retarget)")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (Chrome trace-event JSON)")
+    trace.add_argument("--seed", type=int, default=0,
+                       help="serve-phase traffic seed")
+    trace.add_argument("--no-serve", action="store_true",
+                       help="skip the serving phase (compile/replay only)")
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics_p = sub.add_parser(
+        "metrics", help="run one evaluate+serve workload with the metrics "
+                        "registry on and print the attribution report")
+    metrics_p.add_argument("--app", default="cnn0",
+                           help="app name or alias (default cnn0)")
+    metrics_p.add_argument("--chip", default="TPUv4i")
+    metrics_p.add_argument("--batch", type=int, default=None)
+    metrics_p.add_argument("--duration", type=float, default=0.25,
+                           help="simulated traffic seconds (default 0.25)")
+    metrics_p.add_argument("--utilization", type=float, default=0.5,
+                           help="offered load vs batch capacity")
+    metrics_p.add_argument("--seed", type=int, default=0)
+    metrics_p.add_argument("--cache", action="store_true",
+                           help="use an enabled engine cache (shows hits)")
+    metrics_p.set_defaults(func=_cmd_metrics)
     return parser
 
 

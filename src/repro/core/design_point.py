@@ -41,6 +41,7 @@ from repro.engine.keys import (
     key_meta,
 )
 from repro.engine.modules import built_module
+from repro.obs.metrics import metrics
 from repro.sim.core import SimResult, TensorCoreSim
 from repro.util.units import TERA
 from repro.workloads.models import WorkloadSpec
@@ -124,12 +125,16 @@ class DesignPoint:
         """Simulate (memoized) one inference of a workload."""
         key = (spec.name, batch, cmem_budget_bytes)
         if key not in self._results:
+            reg = metrics()
             engine = self._engine_cache()
             ekey = self._key("sim", spec.name, batch, cmem_budget_bytes)
-            cached = engine.get(ekey)
+            with reg.timer("tier.cache_lookup_s"):
+                cached = engine.get(ekey)
             if cached is None:
-                compiled = self.compiled(spec, batch, cmem_budget_bytes)
-                cached = self.sim.run(compiled.program)
+                with reg.timer("tier.compile_s"):
+                    compiled = self.compiled(spec, batch, cmem_budget_bytes)
+                with reg.timer("tier.sim_s"):
+                    cached = self.sim.run(compiled.program)
                 engine.put(ekey, cached,
                            self._meta("sim", spec.name, batch,
                                       cmem_budget_bytes))
@@ -152,7 +157,8 @@ class DesignPoint:
             return self._evaluations[key]
         engine = self._engine_cache()
         ekey = self._key("eval", spec.name, b, cmem_budget_bytes)
-        cached = engine.get(ekey)
+        with metrics().timer("tier.cache_lookup_s"):
+            cached = engine.get(ekey)
         if cached is None:
             cached = self._evaluate_uncached(spec, b, cmem_budget_bytes)
             engine.put(ekey, cached,

@@ -31,6 +31,20 @@ A sixth phase exercises the fault-injection subsystem:
 * ``zero_fault_identical`` — a zero-fault :class:`~repro.faults.model.
   FaultModel` must reproduce the faultless baseline bit for bit.
 
+A seventh phase prices the observability layer:
+
+* ``obs_off_s`` / ``obs_on_s`` — one instrumented serving sweep with the
+  metrics registry disabled vs enabled;
+* ``obs_identical`` — the two runs' results must match bit for bit
+  (instrumentation may never perturb outputs);
+* ``obs_disabled_overhead_pct`` — an *analytic* bound on what the
+  disabled guards cost: (recording ops observed while enabled) x
+  (measured per-op cost of a disabled guard) over the disabled wall
+  time. Analytic because a direct off-vs-baseline timing diff of a few
+  hundred boolean checks drowns in scheduler noise;
+* ``trace_deterministic`` — two ``build_trace`` exports of the same app
+  must serialize to byte-identical Chrome JSON.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -147,6 +161,72 @@ def _bench_faults(apps: Sequence[str]) -> dict:
     }
 
 
+def _bench_observability(apps: Sequence[str]) -> dict:
+    """Price the metrics/tracing layer; assert it never perturbs results.
+
+    The same seeded faulted serving sweep runs with the registry
+    disabled and enabled; results must be bit-identical. The disabled
+    guards are too cheap to time directly (hundreds of boolean checks
+    inside a multi-second run), so the reported overhead is an analytic
+    bound: every recording op observed in the enabled run corresponds to
+    one guard check in the disabled run, and one guard check costs at
+    most one disabled ``count()`` call (measured with a tight loop).
+    """
+    from repro.arch.chip import TPUV4I
+    from repro.core.design_point import clear_shared_design_points
+    from repro.faults.model import FaultModel
+    from repro.faults.sweep import fault_sweep
+    from repro.obs.metrics import MetricsRegistry, collecting_metrics
+    from repro.obs.tracer import build_trace
+    from repro.workloads.models import app_by_name
+
+    bench_apps = tuple(apps)[:2]
+    model = FaultModel(seed=11, core_mtbf_s=0.25, core_repair_s=0.05)
+
+    def sweep_once():
+        clear_shared_design_points()
+        set_cache(EvalCache())
+        return fault_sweep(model, apps=bench_apps, chips=(TPUV4I,),
+                           duration_s=1.0)
+
+    t0 = time.perf_counter()
+    off = sweep_once()
+    obs_off_s = time.perf_counter() - t0
+
+    with collecting_metrics() as registry:
+        t0 = time.perf_counter()
+        on = sweep_once()
+        obs_on_s = time.perf_counter() - t0
+        ops = registry.op_count
+
+    # Per-op cost of the disabled path, measured on a disabled registry.
+    probe = MetricsRegistry(enabled=False)
+    loops = 200_000
+    t0 = time.perf_counter()
+    for _ in range(loops):
+        probe.count("probe")
+    per_op_s = (time.perf_counter() - t0) / loops
+
+    overhead_pct = (100.0 * ops * per_op_s / obs_off_s
+                    if obs_off_s > 0 else 0.0)
+
+    spec = app_by_name(bench_apps[0])
+    clear_shared_design_points()
+    first = build_trace(spec, TPUV4I).tracer.export_json()
+    clear_shared_design_points()
+    second = build_trace(spec, TPUV4I).tracer.export_json()
+
+    return {
+        "obs_off_s": round(obs_off_s, 4),
+        "obs_on_s": round(obs_on_s, 4),
+        "obs_ops_recorded": ops,
+        "obs_disabled_overhead_pct": round(overhead_pct, 4),
+        "obs_identical": off == on,
+        "trace_deterministic": first == second,
+        "trace_bytes": len(first),
+    }
+
+
 def run_engine_benchmark(workers: Optional[int] = None,
                          app_names: Optional[Sequence[str]] = None,
                          ) -> dict:
@@ -213,6 +293,9 @@ def run_engine_benchmark(workers: Optional[int] = None,
         clear_shared_design_points()
         fault_record = _bench_faults(apps)
 
+        # Observability: metrics on/off identity + disabled-guard cost.
+        obs_record = _bench_observability(apps)
+
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
         record = {
@@ -234,6 +317,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             "deterministic": deterministic,
             **sim_record,
             **fault_record,
+            **obs_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -280,6 +364,12 @@ def render_benchmark(record: dict) -> str:
         f"{record['fault_determinism']}, zero-fault identical: "
         f"{record['zero_fault_identical']}, min availability "
         f"{record['min_availability']:.1%}",
+        f"  observability: off {record['obs_off_s']:.3f} s, on "
+        f"{record['obs_on_s']:.3f} s, {record['obs_ops_recorded']} ops "
+        f"recorded; disabled-guard bound "
+        f"{record['obs_disabled_overhead_pct']:.3f}% of wall time; "
+        f"identical: {record['obs_identical']}, trace deterministic: "
+        f"{record['trace_deterministic']}",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

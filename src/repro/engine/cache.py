@@ -40,6 +40,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterator, Optional
 
+from repro.obs.metrics import metrics
+
 #: Default on-disk location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro_cache"
 
@@ -134,6 +136,7 @@ class EvalCache:
             entry = self._mem.get(key)
             if entry is not None:
                 self.stats.hits += 1
+                metrics().count("engine.cache.hits")
                 return entry.value
         value = self._disk_read(key)
         if value is not None:
@@ -141,8 +144,10 @@ class EvalCache:
             with self._lock:
                 self.stats.disk_hits += 1
                 self._mem[key] = _Entry(value, size)
+            metrics().count("engine.cache.disk_hits")
             return value
         self.stats.misses += 1
+        metrics().count("engine.cache.misses")
         return None
 
     def put(self, key: str, value: Any,
@@ -154,6 +159,7 @@ class EvalCache:
         with self._lock:
             self._mem[key] = _Entry(value, len(blob), meta)
             self.stats.puts += 1
+        metrics().count("engine.cache.puts")
         if self._disk_dir is not None:
             self._disk_write(key, blob, meta)
 
@@ -235,6 +241,7 @@ class EvalCache:
         """Move a corrupt entry aside (never served, never fatal)."""
         with self._lock:
             self.stats.corrupt += 1
+        metrics().count("engine.cache.corrupt")
         target_dir = self._disk_dir / QUARANTINE_DIR
         try:
             target_dir.mkdir(parents=True, exist_ok=True)

@@ -40,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Optional, Sequence
 
 from repro.engine.cache import get_cache
+from repro.obs.metrics import metrics
 
 
 def available_workers() -> int:
@@ -137,6 +138,7 @@ class ParallelSweeper:
         pool up to ``pool_retries`` times, then finished serially. Tasks
         are pure, so the merged result equals the all-serial run.
         """
+        reg = metrics()
         results: list[Any] = []
         for _attempt in range(1 + self.pool_retries):
             pending = items[len(results):]
@@ -152,10 +154,16 @@ class ParallelSweeper:
                         results.append(result)
                 return results
             except BrokenProcessPool:
+                reg.count("engine.pool.broken_pools")
+                if _attempt < self.pool_retries:
+                    reg.count("engine.pool.retries")
                 continue  # crashed worker: fresh pool for the remainder
         # Pools keep dying (or none survive a single attempt): the serial
         # loop cannot crash the parent, so it is the terminal fallback.
-        results.extend(task(item) for item in items[len(results):])
+        remainder = items[len(results):]
+        reg.count("engine.pool.serial_fallbacks")
+        reg.count("engine.pool.crash_recovered_items", len(remainder))
+        results.extend(task(item) for item in remainder)
         return results
 
     # --------------------------------------------------------------------- map
@@ -170,7 +178,16 @@ class ParallelSweeper:
         """
         items = list(items)
         pool_size = self.effective_workers(len(items))
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("engine.pool.maps").inc()
+            reg.counter("engine.pool.items").inc(len(items))
+            reg.gauge("engine.pool.workers").set(pool_size)
+            if pool_size > 1 and len(items) > 1:
+                reg.histogram("engine.pool.items_per_worker").observe(
+                    len(items) / pool_size)
         if pool_size <= 1 or len(items) <= 1:
+            reg.count("engine.pool.serial_maps")
             return [task(item) for item in items]
         return self._resilient_map(task, items, pool_size)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.engine.parallel import ParallelSweeper
+from repro.obs.metrics import metrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.arch.chip import ChipConfig
@@ -49,6 +50,7 @@ def evaluate_candidates(chips: Sequence["ChipConfig"],
     release = version if version is not None else LATEST
     sweeper = ParallelSweeper(workers=workers, chunk_size=chunk_size)
     tasks = [(chip, names, release.name) for chip in chips]
+    metrics().count("engine.sweeps.candidates", len(tasks))
     return sweeper.map_cached(_candidate_task, tasks)
 
 
@@ -74,6 +76,7 @@ def cmem_capacity_sweep(spec: "WorkloadSpec", capacities_bytes: Sequence[int],
     sweeper = ParallelSweeper(workers=workers)
     tasks = [(chip, spec.name, batch, capacity)
              for capacity in capacities_bytes]
+    metrics().count("engine.sweeps.cmem_points", len(tasks))
     return sweeper.map_cached(_cmem_task, tasks)
 
 
@@ -100,4 +103,5 @@ def batch_latency_grid(chip: "ChipConfig", workload: str,
             raise ValueError("batch must be positive")
     sweeper = ParallelSweeper(workers=workers)
     tasks = [(chip, release.name, workload, batch) for batch in batches]
+    metrics().count("engine.sweeps.batch_points", len(tasks))
     return dict(sweeper.map_cached(_latency_task, tasks))

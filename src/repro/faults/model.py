@@ -31,6 +31,7 @@ import math
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from repro.obs.metrics import metrics
 from repro.util.rng import DeterministicRng
 
 #: Stream salts: each fault source forks its own RNG so adding one
@@ -250,16 +251,25 @@ class FaultModel:
                 down.append(
                     (core, start,
                      start + self._repair(stream, self.core_repair_s)))
+        core_outages = len(down)
         chip_stream = root.fork(_CHIP_SALT)
+        chip_outages = 0
         for start in chip_stream.event_times(self.chip_mtbf_s, horizon_s):
             end = start + self._repair(chip_stream, self.chip_repair_s)
             down.extend((core, start, end) for core in range(cores))
+            chip_outages += 1
         slowdowns: list[tuple[int, float, float, float]] = []
         for core in range(cores):
             stream = root.fork(_SLOWDOWN_SALT + core)
             for start in stream.event_times(self.slowdown_mtbf_s, horizon_s):
                 slowdowns.append((core, start, start + self.slowdown_s,
                                   self.slowdown_factor))
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("faults.schedules").inc()
+            reg.counter("faults.core_outages").inc(core_outages)
+            reg.counter("faults.chip_outages").inc(chip_outages)
+            reg.counter("faults.slowdowns").inc(len(slowdowns))
         return FaultSchedule(cores, horizon_s, down, slowdowns)
 
     def describe(self) -> str:

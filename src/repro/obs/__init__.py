@@ -1,0 +1,62 @@
+"""Observability: deterministic tracing, metrics, and profiling reports.
+
+Three pieces, split by what clock they run on:
+
+* :mod:`repro.obs.metrics` — a process-global registry of counters,
+  gauges and fixed-bucket histograms the engine cache, process-pool
+  sweeper, serving simulator and fault scheduler report into. Disabled
+  by default; zero cost (one boolean check) until enabled.
+* :mod:`repro.obs.tracer` — span tracing on *simulated* time (never
+  wall-clock), with a byte-stable Chrome trace-event JSON exporter and
+  a traced replay over the lowered IR that is bit-identical to the
+  untraced fast path.
+* :mod:`repro.obs.report` — cycle attribution for one run and
+  compile/sim/cache wall-time attribution for a sweep (the
+  ``repro metrics`` output).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting_metrics,
+    diff_snapshots,
+    disable_metrics,
+    enable_metrics,
+    metrics,
+    render_snapshot,
+    set_metrics,
+)
+from repro.obs.report import RunProfile, profile_result, tier_report
+from repro.obs.tracer import (
+    Span,
+    SpanTracer,
+    TraceResult,
+    build_trace,
+    replay_traced,
+    spans_from_interpreter_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunProfile",
+    "Span",
+    "SpanTracer",
+    "TraceResult",
+    "build_trace",
+    "collecting_metrics",
+    "diff_snapshots",
+    "disable_metrics",
+    "enable_metrics",
+    "metrics",
+    "profile_result",
+    "render_snapshot",
+    "replay_traced",
+    "set_metrics",
+    "spans_from_interpreter_trace",
+    "tier_report",
+]

@@ -1,0 +1,486 @@
+"""Deterministic span tracing with a Chrome trace-event exporter.
+
+The observability layer's timeline half. A :class:`Span` is one named
+interval on one track; a :class:`SpanTracer` collects spans and exports
+them as Chrome trace-event JSON (load the file in ``chrome://tracing``
+or https://ui.perfetto.dev).
+
+**The determinism rule:** every timestamp is *simulated* time or a
+deterministic work proxy — never wall-clock. Two runs of the same
+(app, chip, batch, seed) therefore export byte-identical JSON, which is
+what lets CI diff traces and a reviewer diff the traces of two commits.
+Concretely, the three track groups use these clocks:
+
+* ``pipeline`` — compile -> lower -> replay -> serve phase spans laid
+  end to end on a work-unit axis (1 tick = 1 instruction for compile,
+  1 row for lower, 1 cycle for replay, 1 simulated us for serve);
+* ``core`` — per-instruction spans replayed from the **lowered IR**
+  (:mod:`repro.sim.lowered` rows), on the chip's simulated clock
+  converted to microseconds; one track per unit (mxu, vpu, dma.<level>,
+  sync);
+* ``serving`` — one span per launched batch on ``core<i>`` tracks, on
+  the serving simulator's simulated-seconds clock.
+
+:func:`replay_traced` mirrors :class:`~repro.sim.lowered.FastReplay`
+operation for operation while emitting the per-row spans; its
+:class:`~repro.sim.core.SimResult` is bit-identical to the untraced
+replay (asserted in ``tests/test_obs.py``), so tracing is purely
+additive — it can never change what it measures.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.arch.chip import ChipConfig
+from repro.sim.lowered import (
+    ENGINES_PER_LEVEL,
+    K_BUNDLE,
+    K_DMA,
+    K_HALT,
+    K_MXM,
+    K_MXM_FIXED,
+    K_SCALAR,
+    K_SYNC_SET,
+    K_SYNC_WAIT,
+    K_VECTOR,
+    LoweredProgram,
+    lower_program,
+)
+from repro.sim.perf import PerfCounters, build_report
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "TraceResult",
+    "build_trace",
+    "replay_traced",
+    "spans_from_interpreter_trace",
+]
+
+#: Default cap on recorded spans; far above any compiled program in the
+#: zoo, low enough that a runaway serve trace cannot eat the heap.
+DEFAULT_SPAN_CAPACITY = 200_000
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval on one track.
+
+    ``ts_us``/``dur_us`` are microseconds on that track group's
+    deterministic clock (see the module docstring); ``args`` is a tuple
+    of (key, value) pairs so spans stay hashable and deterministic.
+    """
+
+    name: str
+    cat: str
+    group: str       # Chrome "process": pipeline / core / serving
+    track: str       # Chrome "thread": mxu, vpu, dma.hbm, core0, ...
+    ts_us: float
+    dur_us: float
+    args: tuple = ()
+
+    @property
+    def end_us(self) -> float:
+        return self.ts_us + self.dur_us
+
+
+@dataclass
+class SpanTracer:
+    """Collects spans; exports Chrome trace-event JSON.
+
+    Bounded like :class:`~repro.sim.trace.Trace`: recording stops
+    silently at ``capacity`` and ``truncated`` flips, so tracing a long
+    serving simulation degrades instead of exhausting memory. The cap is
+    part of the deterministic contract — the same run always keeps the
+    same prefix.
+    """
+
+    capacity: int = DEFAULT_SPAN_CAPACITY
+    spans: list = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def record(self, name: str, cat: str, group: str, track: str,
+               ts_us: float, dur_us: float, args: tuple = ()) -> None:
+        if len(self.spans) >= self.capacity:
+            self.truncated = True
+            return
+        self.spans.append(Span(name, cat, group, track, ts_us, dur_us, args))
+
+    def by_group(self, group: str) -> list:
+        return [s for s in self.spans if s.group == group]
+
+    def by_track(self, group: str, track: str) -> list:
+        return [s for s in self.spans
+                if s.group == group and s.track == track]
+
+    def busy_us(self, group: str, track: str) -> float:
+        return sum(s.dur_us for s in self.by_track(group, track))
+
+    # --------------------------------------------------------------- export
+
+    def chrome_trace(self, comment: str = "") -> dict:
+        """The Chrome trace-event representation (a plain dict).
+
+        Groups become processes and tracks become threads, ids assigned
+        in first-appearance order (deterministic because spans are
+        recorded deterministically); ``M`` metadata events carry the
+        readable names.
+        """
+        group_ids: dict[str, int] = {}
+        track_ids: dict[tuple, int] = {}
+        events: list = []
+        for span in self.spans:
+            pid = group_ids.get(span.group)
+            if pid is None:
+                pid = len(group_ids)
+                group_ids[span.group] = pid
+                events.append({"ph": "M", "name": "process_name", "pid": pid,
+                               "tid": 0, "args": {"name": span.group}})
+            key = (span.group, span.track)
+            tid = track_ids.get(key)
+            if tid is None:
+                tid = sum(1 for g, _ in track_ids if g == span.group)
+                track_ids[key] = tid
+                events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                               "tid": tid, "args": {"name": span.track}})
+            event = {"ph": "X", "name": span.name, "cat": span.cat,
+                     "pid": pid, "tid": tid, "ts": span.ts_us,
+                     "dur": span.dur_us}
+            if span.args:
+                event["args"] = dict(span.args)
+            events.append(event)
+        trace: dict = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "simulated (deterministic; never wall-clock)",
+                "spans": len(self.spans),
+                "truncated": self.truncated,
+            },
+        }
+        if comment:
+            trace["otherData"]["comment"] = comment
+        return trace
+
+    def export_json(self, comment: str = "") -> str:
+        """Byte-stable Chrome trace JSON (sorted keys, fixed separators).
+
+        Identical runs serialize to identical bytes — the property the
+        CI trace-diff relies on.
+        """
+        return json.dumps(self.chrome_trace(comment), sort_keys=True,
+                          separators=(",", ":")) + "\n"
+
+
+# ------------------------------------------------------------ traced replay
+
+def replay_traced(lowered: LoweredProgram, chip: ChipConfig, *,
+                  dtype: str = "bf16",
+                  tracer: Optional[SpanTracer] = None,
+                  group: str = "core"):
+    """Replay lowered rows, emitting one span per executed instruction.
+
+    Returns ``(SimResult, SpanTracer)``. The loop mirrors
+    :meth:`~repro.sim.lowered.FastReplay.run` operation for operation —
+    same max/ceil expressions, same accumulation order — so the result
+    is bit-identical to the untraced replay; the spans are a pure
+    side channel. Kept separate from ``FastReplay`` so the untraced hot
+    loop carries no per-row branch (the zero-cost-when-disabled rule).
+    """
+    from repro.sim.core import SimResult  # local: core imports sim.lowered
+
+    if lowered.generation != chip.generation:
+        raise ValueError(
+            f"program was compiled for generation {lowered.generation}; "
+            f"{chip.name} is generation {chip.generation}. "
+            "Recompile (Lesson 2) rather than carrying binaries.")
+    if not chip.supports_dtype(dtype):
+        raise ValueError(f"{chip.name} does not support {dtype}")
+    if tracer is None:
+        tracer = SpanTracer()
+
+    elem_bytes = 1 if dtype == "int8" else 2
+    flags = [0] * lowered.n_flags
+    n_pools = len(lowered.pool_levels)
+    busy = [[0] * ENGINES_PER_LEVEL for _ in range(n_pools)]
+    pool_busy_cycles = [0] * n_pools
+    pool_bytes = [0] * n_pools
+    bandwidths = lowered.pool_bandwidths
+    latencies = lowered.pool_latencies
+    overhead = lowered.dma_overhead
+    clock_hz = lowered.clock_hz
+    ceil = math.ceil
+    scale = 1e6 / clock_hz  # cycles -> simulated microseconds
+    emit = tracer.record
+
+    issue = 0
+    bundle_issue = 0
+    in_bundle = False
+    bundles = 0
+    macs = 0
+    scalar_ops = 0
+    mxu_busy = 0
+    vpu_busy = 0
+    sync_stall = 0
+    mxu_free = 0
+    vpu_free = 0
+    vector_alu_ops = 0.0
+    vmem_elements = 0
+
+    for kind, a0, a1, a2, f in lowered.rows:
+        if kind == K_MXM:
+            start = mxu_free if mxu_free > issue else issue
+            mxu_free = start + a0
+            macs += a1
+            mxu_busy += a0
+            vmem_elements += a2
+            emit("mxm", "compute", group, "mxu",
+                 start * scale, a0 * scale, (("macs", a1),))
+        elif kind == K_BUNDLE:
+            if in_bundle:
+                nxt = bundle_issue + 1
+                if nxt > issue:
+                    issue = nxt
+            in_bundle = True
+            bundles += 1
+            bundle_issue = issue
+        elif kind == K_VECTOR:
+            start = vpu_free if vpu_free > issue else issue
+            vpu_free = start + a0
+            vector_alu_ops += f
+            vpu_busy += a0
+            vmem_elements += a2
+            emit("vector", "compute", group, "vpu",
+                 start * scale, a0 * scale, (("alu_ops", f),))
+        elif kind == K_SYNC_WAIT:
+            target = flags[a0]
+            if target > issue:
+                sync_stall += target - issue
+                emit("sync.wait", "sync", group, "sync",
+                     issue * scale, (target - issue) * scale,
+                     (("flag", a0),))
+                issue = target
+        elif kind == K_SYNC_SET:
+            flags[a0] = issue
+        elif kind == K_DMA:
+            pool = busy[a0]
+            active = 0
+            best = 0
+            best_free = pool[0]
+            for engine in range(1, ENGINES_PER_LEVEL):
+                free_at = pool[engine]
+                if free_at < best_free:
+                    best = engine
+                    best_free = free_at
+            for free_at in pool:
+                if free_at > issue:
+                    active += 1
+            contention = active if active > 1 else 1
+            # Exact expression from DmaEngine.issue (bit-identity).
+            streaming_s = a1 * contention / bandwidths[a0]
+            duration = (overhead + latencies[a0]
+                        + ceil(streaming_s * clock_hz))
+            start = best_free if best_free > issue else issue
+            end = start + duration
+            pool[best] = end
+            flags[a2] = end
+            pool_busy_cycles[a0] += duration
+            pool_bytes[a0] += a1
+            emit("dma", "memory", group, f"dma.{lowered.pool_levels[a0]}",
+                 start * scale, duration * scale, (("bytes", a1),))
+        elif kind == K_SCALAR:
+            scalar_ops += a0
+        elif kind == K_MXM_FIXED:
+            start = mxu_free if mxu_free > issue else issue
+            mxu_free = start + a0
+            mxu_busy += a0
+            emit("mxm.fixed", "compute", group, "mxu",
+                 start * scale, a0 * scale)
+        else:  # K_HALT
+            break
+
+    if in_bundle:
+        nxt = bundle_issue + 1
+        if nxt > issue:
+            issue = nxt
+
+    dma_end = max((free_at for pool in busy for free_at in pool),
+                  default=0)
+    flag_max = max(flags, default=0)
+    total = max(issue, mxu_free, vpu_free, dma_end, flag_max)
+
+    counters = PerfCounters(
+        cycles=max(1, total),
+        bundles=bundles,
+        macs=macs,
+        vector_alu_ops=vector_alu_ops,
+        scalar_ops=scalar_ops,
+        mxu_busy_cycles=mxu_busy,
+        vpu_busy_cycles=vpu_busy,
+        dma_busy_cycles=sum(pool_busy_cycles),
+        sync_stall_cycles=sync_stall,
+    )
+    for name in lowered.level_names:
+        moved = 0
+        if name == "vmem":
+            moved = vmem_elements * elem_bytes
+        else:
+            for pool, pool_name in enumerate(lowered.pool_levels):
+                if pool_name == name:
+                    moved = pool_bytes[pool]
+                    break
+        counters.add_bytes(name, float(moved))
+
+    report = build_report(chip, lowered.name, counters, dtype)
+    return SimResult(report=report, counters=counters, trace=None), tracer
+
+
+def spans_from_interpreter_trace(trace, clock_hz: float,
+                                 tracer: Optional[SpanTracer] = None,
+                                 group: str = "core") -> SpanTracer:
+    """Convert a :class:`~repro.sim.trace.Trace` (interpreter run) to spans.
+
+    The reference interpreter records :class:`~repro.sim.trace.
+    TraceEvent` rows; this maps them onto the same track layout the
+    lowered-IR replay uses, so either simulator path exports to the same
+    Chrome format.
+    """
+    if tracer is None:
+        tracer = SpanTracer()
+    scale = 1e6 / clock_hz
+    for event in trace.events:
+        tracer.record(event.mnemonic, "compute" if event.unit in
+                      ("mxu", "vpu") else "memory" if
+                      event.unit.startswith("dma") else "sync",
+                      group, event.unit, event.cycle_start * scale,
+                      event.duration * scale,
+                      (("detail", event.detail),) if event.detail else ())
+    if trace.truncated:
+        tracer.truncated = True
+    return tracer
+
+
+# --------------------------------------------------------- pipeline tracing
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Everything one end-to-end trace produced."""
+
+    tracer: SpanTracer
+    result: object                       # SimResult of the traced replay
+    serving: Optional[object] = None     # ServingStats when serve=True
+    summary: tuple = ()                  # deterministic (key, value) pairs
+
+    def summary_dict(self) -> dict:
+        return dict(self.summary)
+
+
+def build_trace(spec, chip: ChipConfig, *, batch: Optional[int] = None,
+                dtype: Optional[str] = None, serve: bool = True,
+                serve_duration_s: float = 0.25, utilization: float = 0.5,
+                max_batch: int = 8, seed: int = 0,
+                capacity: int = DEFAULT_SPAN_CAPACITY) -> TraceResult:
+    """Trace one app end to end: compile -> lower -> replay -> serve.
+
+    Deterministic by construction: compilation and lowering are pure,
+    the replay runs on the simulated clock, and the serve phase uses a
+    seeded Poisson stream over latencies replayed in-process (no engine
+    cache involvement), so the exported JSON is byte-identical across
+    runs. ``dtype=None`` picks bf16 where supported and falls back to
+    the int8 retarget TPUv1 actually served with.
+    """
+    from repro.compiler.pipeline import compile_model, retarget_dtype
+    from repro.sim.lowered import FastReplay
+
+    if serve_duration_s <= 0:
+        raise ValueError("serve duration must be positive")
+    if not 0 < utilization <= 1:
+        raise ValueError("utilization must be in (0, 1]")
+    if dtype is None:
+        dtype = "bf16" if chip.supports_dtype("bf16") else "int8"
+    b = batch if batch is not None else spec.default_batch
+
+    def compile_batch(size: int):
+        module = spec.build(size)
+        if not chip.supports_dtype("bf16"):
+            module = retarget_dtype(module, "int8")
+        return compile_model(module, chip).program
+
+    tracer = SpanTracer(capacity=capacity)
+    program = compile_batch(b)
+    n_instructions = sum(len(bundle.instructions)
+                         for bundle in program.bundles)
+    lowered = lower_program(program, chip)
+
+    # Pipeline track: phases end to end on a work-unit axis (1 tick =
+    # 1 us): instructions compiled, rows lowered, cycles replayed,
+    # simulated us served. Deterministic cost proxies, not wall time.
+    t = 0.0
+    tracer.record("compile", "pipeline", "pipeline", "phases", t,
+                  float(n_instructions),
+                  (("instructions", n_instructions), ("batch", b)))
+    t += n_instructions
+    tracer.record("lower", "pipeline", "pipeline", "phases", t,
+                  float(len(lowered.rows)), (("rows", len(lowered.rows)),))
+    t += len(lowered.rows)
+
+    result, _ = replay_traced(lowered, chip, dtype=dtype, tracer=tracer)
+    tracer.record("replay", "pipeline", "pipeline", "phases", t,
+                  float(result.cycles), (("cycles", result.cycles),))
+    t += result.cycles
+
+    serving_stats = None
+    if serve:
+        from repro.core.design_point import DesignPoint
+        from repro.engine.cache import EvalCache
+        from repro.serving.batching import BatchPolicy
+        from repro.serving.server import ServingSimulator
+        from repro.serving.slo import Slo
+        from repro.workloads.generator import RequestGenerator
+
+        replayer = FastReplay(chip)
+        steps = BatchPolicy.batch_steps(max_batch)
+        table = {
+            step: replayer.run(lower_program(compile_batch(step), chip),
+                               dtype=dtype).seconds
+            for step in steps}
+        slo = Slo(spec.slo_ms / 1e3)
+        slo_batch = max((s for s in steps if table[s] <= slo.limit_s),
+                        default=1)
+        rate_qps = utilization * chip.cores * slo_batch / table[slo_batch]
+        policy = BatchPolicy(max_batch=max_batch,
+                             max_wait_s=slo.limit_s / 4.0)
+        point = DesignPoint(chip, cache=EvalCache(enabled=False))
+        simulator = ServingSimulator(point, spec, policy, slo)
+        simulator.seed_latencies(table)
+        requests = RequestGenerator(seed).poisson(
+            spec.name, rate_qps, serve_duration_s)
+        if requests:
+            serving_stats = simulator.simulate(requests, tracer=tracer)
+            tracer.record("serve", "pipeline", "pipeline", "phases", t,
+                          serving_stats.duration_s * 1e6,
+                          (("requests", serving_stats.requests),))
+
+    summary = (
+        ("app", spec.name),
+        ("chip", chip.name),
+        ("batch", b),
+        ("dtype", dtype),
+        ("cycles", result.cycles),
+        ("instructions", n_instructions),
+        ("rows", len(lowered.rows)),
+        ("spans", len(tracer.spans)),
+        ("truncated", tracer.truncated),
+        ("served_requests",
+         serving_stats.served_requests if serving_stats else 0),
+    )
+    return TraceResult(tracer=tracer, result=result, serving=serving_stats,
+                       summary=summary)

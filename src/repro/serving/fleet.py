@@ -39,7 +39,12 @@ class FleetPlan:
 
     @property
     def cost_per_kqps_usd(self) -> float:
-        """Lifetime dollars per thousand served qps — the comparison metric."""
+        """Lifetime dollars per thousand served qps — the comparison metric.
+
+        0.0 for a degenerate zero-qps plan (never inf/ZeroDivisionError).
+        """
+        if self.target_qps <= 0:
+            return 0.0
         return self.fleet_tco_usd / (self.target_qps / 1000.0)
 
     @property
@@ -52,8 +57,11 @@ class FleetPlan:
         """Fractional TCO cost of the spares over the N+0 fleet.
 
         TCO is linear in chips, so k spares over n serving chips cost
-        exactly k/n extra — 0.0 for an N+0 plan.
+        exactly k/n extra — 0.0 for an N+0 plan, and 0.0 (not a
+        ZeroDivisionError) for a degenerate all-spare plan.
         """
+        if self.serving_chips <= 0:
+            return 0.0
         return self.spare_chips / self.serving_chips
 
     def describe(self) -> str:

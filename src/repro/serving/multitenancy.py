@@ -173,7 +173,7 @@ class MultiTenantSim:
             requests=len(requests),
             p99_s=percentile(latencies, 99),
             mean_latency_s=sum(latencies) / len(latencies),
-            throughput_qps=len(requests) / duration if duration > 0 else float("inf"),
+            throughput_qps=len(requests) / duration if duration > 0 else 0.0,
             swap_count=swap_count,
             swap_seconds_total=swap_total,
         )

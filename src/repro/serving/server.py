@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.core.design_point import DesignPoint
+from repro.obs.metrics import UNIT_BUCKETS, metrics
 from repro.serving.batching import BatchPolicy
 from repro.serving.slo import Slo, percentile
 from repro.workloads.generator import Request
@@ -34,6 +35,7 @@ from repro.workloads.models import WorkloadSpec
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.faults.model import FaultModel, FaultSchedule
+    from repro.obs.tracer import SpanTracer
 
 #: Retry policy applied when a bare FaultSchedule is passed without a
 #: FaultModel carrying its own budget/timeout.
@@ -143,7 +145,8 @@ class ServingSimulator:
 
     def simulate(self, requests: Sequence[Request],
                  faults: Optional["FaultModel"] = None,
-                 schedule: Optional["FaultSchedule"] = None) -> ServingStats:
+                 schedule: Optional["FaultSchedule"] = None,
+                 tracer: Optional["SpanTracer"] = None) -> ServingStats:
         """Run the event loop over a time-sorted request stream.
 
         ``faults`` injects the model's seeded failure schedule;
@@ -151,6 +154,14 @@ class ServingSimulator:
         and wins when both are given. With neither — or with a
         zero-fault model — the loop reduces to the faultless arithmetic
         and the returned stats are bit-identical to a plain run.
+
+        ``tracer`` records one span per launched batch (and per batch
+        lost to a fault) on ``serving/core<i>`` tracks, timestamped in
+        simulated microseconds. Observability is a pure side channel:
+        with ``tracer=None`` and the metrics registry disabled (the
+        defaults) the loop performs no extra work beyond one boolean
+        check per launch, and the returned stats are bit-identical
+        either way (asserted in ``tests/test_obs.py``).
         """
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
@@ -176,6 +187,11 @@ class ServingSimulator:
 
         servers = [(0.0, core) for core in range(cores)]
         heapq.heapify(servers)
+
+        # Observability: hoist the enabled checks so the faultless fast
+        # path pays one boolean per launch and nothing else.
+        reg = metrics()
+        rec = reg.enabled
 
         latencies: list[float] = []
         batch_sizes: list[int] = []
@@ -217,10 +233,18 @@ class ServingSimulator:
                 if down_until is not None:
                     # Core is mid-repair at launch time: it takes no work
                     # until the outage ends; surviving cores go first.
+                    if rec:
+                        reg.counter("serving.outage_wait_s").inc(
+                            max(0.0, down_until - launch))
                     heapq.heapreplace(servers, (down_until, core))
                     continue
 
             size = min(len(queue), self.policy.max_batch)
+            if rec:
+                reg.histogram("serving.queue_depth").observe(len(queue))
+                reg.histogram("serving.batch_occupancy",
+                              UNIT_BUCKETS).observe(
+                    size / self.policy.max_batch)
             latency = self.batch_latency_s(size)
             if schedule is not None:
                 factor = schedule.slowdown_factor(core, launch)
@@ -237,6 +261,11 @@ class ServingSimulator:
                     # their arrival times and rejoin the queue head.
                     fail_start, fail_end = failure
                     lost_batches += 1
+                    if tracer is not None:
+                        tracer.record(
+                            "batch.lost", "serve", "serving", f"core{core}",
+                            launch * 1e6, (fail_start - launch) * 1e6,
+                            (("size", size),))
                     batch, queue = queue[:size], queue[size:]
                     survivors: list[tuple[float, int]] = []
                     for arrival, retries in batch:
@@ -252,12 +281,22 @@ class ServingSimulator:
 
             batch, queue = queue[:size], queue[size:]
             heapq.heapreplace(servers, (completion, core))
+            if tracer is not None:
+                tracer.record("batch", "serve", "serving", f"core{core}",
+                              launch * 1e6, latency * 1e6, (("size", size),))
             latencies.extend(completion - a for a, _ in batch)
             batch_sizes.append(size)
             last_completion = max(last_completion, completion)
 
         duration = max(last_completion, arrivals[-1]) - arrivals[0]
         served = len(latencies)
+        if rec:
+            reg.counter("serving.batches").inc(len(batch_sizes))
+            reg.counter("serving.requests_offered").inc(total)
+            reg.counter("serving.requests_served").inc(served)
+            reg.counter("serving.retried_requests").inc(retried)
+            reg.counter("serving.dropped_requests").inc(dropped)
+            reg.counter("serving.lost_batches").inc(lost_batches)
         lost_capacity = 0.0
         if schedule is not None and duration > 0:
             lost_capacity = (

@@ -10,8 +10,13 @@ from typing import Sequence
 def percentile(values: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile (the convention serving dashboards use).
 
+    Always returns a ``float``, regardless of the element type of
+    ``values`` — callers compare percentiles against float SLO limits
+    and feed them into float arithmetic, so an int sample must not leak
+    an int out.
+
     >>> percentile([1, 2, 3, 4], 50)
-    2
+    2.0
     """
     if not values:
         raise ValueError("percentile of an empty sequence")
@@ -19,7 +24,7 @@ def percentile(values: Sequence[float], pct: float) -> float:
         raise ValueError(f"pct must be in (0, 100], got {pct}")
     ordered = sorted(values)
     rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+    return float(ordered[rank - 1])
 
 
 @dataclass(frozen=True)
@@ -36,13 +41,24 @@ class Slo:
             raise ValueError("SLO percentile must be in (0, 100]")
 
     def met_by(self, latencies_s: Sequence[float]) -> bool:
-        """Whether a latency sample satisfies the SLO."""
+        """Whether a latency sample satisfies the SLO.
+
+        An empty sample is **vacuously met**: no request was served, so
+        no request was late. Callers that consider "no traffic" a
+        failure (e.g. a fleet whose every chip is down) must check
+        sample size themselves — this predicate is about latency only.
+        """
         if not latencies_s:
             return True
         return percentile(latencies_s, self.pct) <= self.limit_s
 
     def violation_fraction(self, latencies_s: Sequence[float]) -> float:
-        """Fraction of requests over the limit."""
+        """Fraction of requests over the limit.
+
+        An empty sample has **zero violations** by definition (0 of 0
+        requests were late), matching :meth:`met_by`'s vacuous truth —
+        never a ZeroDivisionError.
+        """
         if not latencies_s:
             return 0.0
         over = sum(1 for l in latencies_s if l > self.limit_s)

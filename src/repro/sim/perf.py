@@ -54,8 +54,12 @@ class PerfReport:
 
     @property
     def queries_per_second(self) -> float:
-        """If the program is one inference, its standalone throughput."""
-        return 1.0 / self.seconds if self.seconds else float("inf")
+        """If the program is one inference, its standalone throughput.
+
+        0.0 for a degenerate zero-second run (an empty program), so the
+        value is always finite and safe to aggregate or serialize.
+        """
+        return 1.0 / self.seconds if self.seconds else 0.0
 
     def describe(self) -> str:
         return (

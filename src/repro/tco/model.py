@@ -58,7 +58,8 @@ def rank_designs(qps_by_chip: Dict[str, float],
         raise ValueError(f"no TCO for chips: {sorted(missing)}")
 
     def capex_score(name: str) -> float:
-        return qps_by_chip[name] / by_name[name].capex_usd
+        capex = by_name[name].capex_usd
+        return qps_by_chip[name] / capex if capex else 0.0
 
     def tco_score(name: str) -> float:
         return perf_per_tco(qps_by_chip[name], by_name[name])

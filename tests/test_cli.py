@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -85,3 +87,48 @@ class TestProfile:
         out = capsys.readouterr().out
         assert "split:" in out
         assert "simulated latency" in out
+
+
+class TestTraceCommand:
+    def test_trace_writes_deterministic_json(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(["trace", "mlp0", "TPUv4i", "--batch", "2",
+                     "--out", str(first)]) == 0
+        assert main(["trace", "mlp0", "TPUv4i", "--batch", "2",
+                     "--out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert payload["otherData"]["truncated"] is False
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+        out = capsys.readouterr().out
+        assert "mxu busy" in out
+
+    def test_trace_accepts_aliases(self, tmp_path, capsys):
+        out_path = tmp_path / "t.json"
+        assert main(["trace", "resnet50", "tpuv4i", "--batch", "1",
+                     "--no-serve", "--out", str(out_path)]) == 0
+        assert "cnn0 on TPUv4i" in capsys.readouterr().out
+
+    def test_trace_unknown_app_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", "gpt5", "TPUv4i",
+                     "--out", str(tmp_path / "x.json")]) == 2
+        err = capsys.readouterr().err
+        assert "unknown app" in err and "resnet50" in err
+
+
+class TestMetricsCommand:
+    def test_metrics_reports_tiers_and_counters(self, capsys):
+        assert main(["metrics", "--app", "mlp0", "--batch", "2",
+                     "--duration", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-time tiers" in out
+        assert "serving.requests_served" in out
+        assert "tier.compile_s" in out
+
+    def test_metrics_leaves_registry_disabled(self):
+        from repro.obs import metrics as global_metrics
+
+        main(["metrics", "--app", "mlp0", "--batch", "2",
+              "--duration", "0.02"])
+        assert not global_metrics().enabled

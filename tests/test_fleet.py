@@ -49,6 +49,28 @@ class TestPlanFleet:
         assert "chips" in plan.describe()
 
 
+class TestDegenerateRatios:
+    """Ratio properties must return finite 0.0, never inf or a crash."""
+
+    def _plan(self, **overrides):
+        from repro.serving.fleet import FleetPlan
+
+        fields = dict(workload="cnn0", chip="TPUv4i", target_qps=1000.0,
+                      slo_batch=8, per_chip_qps=500.0, chips=2,
+                      fleet_tco_usd=1e6, fleet_power_w=500.0, spare_chips=0)
+        fields.update(overrides)
+        return FleetPlan(**fields)
+
+    def test_zero_target_qps_cost_is_zero(self):
+        plan = self._plan(target_qps=0.0)
+        assert plan.cost_per_kqps_usd == 0.0
+
+    def test_all_spare_plan_premium_is_zero(self):
+        plan = self._plan(chips=2, spare_chips=2)
+        assert plan.serving_chips == 0
+        assert plan.resilience_premium == 0.0
+
+
 class TestResilientFleet:
     """N+k provisioning: the SLO holds with k chips failed."""
 

@@ -20,6 +20,18 @@ class TestPercentileAndSlo:
         assert percentile([1, 2, 3, 4], 100) == 4
         assert percentile([5], 99) == 5
 
+    def test_percentile_is_type_stable(self):
+        # Regression: int samples used to leak the input element type out.
+        for pct in (1, 50, 99, 100):
+            assert type(percentile([1, 2, 3, 4], pct)) is float
+            assert type(percentile([1.5, 2.5], pct)) is float
+
+    def test_empty_sample_contracts(self):
+        # Locked contract: no requests -> vacuously met, zero violations.
+        slo = Slo(0.010)
+        assert slo.met_by([]) is True
+        assert slo.violation_fraction([]) == 0.0
+
     def test_percentile_validation(self):
         with pytest.raises(ValueError):
             percentile([], 50)
@@ -242,3 +254,18 @@ class TestMultiTenancy:
     def test_tenant_validation(self):
         with pytest.raises(ValueError):
             Tenant(app_by_name("cnn0"), 0)
+
+    def test_zero_duration_throughput_is_finite(self, v4i_point_module,
+                                                monkeypatch):
+        # Regression: a zero-duration run used to report inf qps.
+        import math
+
+        from repro.workloads import Request
+
+        sim, _ = self._sim(v4i_point_module)
+        monkeypatch.setattr(
+            MultiTenantSim, "_latencies",
+            lambda self, policy: {t.spec.name: 0.0 for t in self.tenants})
+        stats = sim.simulate([Request(0.0, "cnn0")], "resident")
+        assert stats.throughput_qps == 0.0
+        assert math.isfinite(stats.throughput_qps)

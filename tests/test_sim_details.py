@@ -61,6 +61,19 @@ class TestPerfReport:
         report = build_report(TPUV4I, "x", counters)
         assert report.queries_per_second == pytest.approx(1000.0)
 
+    def test_zero_second_report_rates_are_finite(self):
+        # Regression: a zero-second report used to return inf qps.
+        # build_report refuses zero cycles, but a hand-built report
+        # (deserialization, synthetic tests) must still stay finite.
+        import dataclasses
+        import math
+
+        counters = PerfCounters(cycles=1_050_000, macs=1)
+        report = build_report(TPUV4I, "x", counters)
+        degenerate = dataclasses.replace(report, seconds=0.0)
+        assert degenerate.queries_per_second == 0.0
+        assert math.isfinite(degenerate.queries_per_second)
+
 
 class TestSimulatorEdgeCases:
     def _program(self, *instructions):

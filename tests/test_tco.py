@@ -104,3 +104,16 @@ class TestTcoModel:
     def test_rank_missing_tco_rejected(self):
         with pytest.raises(ValueError):
             rank_designs({"x": 1.0}, [])
+
+    def test_rank_zero_capex_scores_zero(self):
+        # Regression: a zero-capex entry used to raise ZeroDivisionError.
+        qps = {"free": 1000.0, "paid": 1000.0}
+        tcos = [ChipTco("free", capex_usd=0.0, opex_usd=100.0),
+                ChipTco("paid", capex_usd=100.0, opex_usd=100.0)]
+        ranking = rank_designs(qps, tcos)
+        assert ranking["by_capex"][0] == "paid"
+
+    def test_zero_cost_shares_are_finite(self):
+        tco = ChipTco("x", capex_usd=0.0, opex_usd=0.0)
+        assert tco.opex_share == 0.0
+        assert perf_per_tco(100.0, tco) == 0.0
