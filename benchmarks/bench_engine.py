@@ -63,3 +63,15 @@ def test_engine_benchmark(benchmark):
     assert result["obs_disabled_overhead_pct"] < 2.0, (
         f"disabled-guard overhead bound "
         f"{result['obs_disabled_overhead_pct']}% >= 2%")
+    # Cluster resilience: the chaos sweep must reproduce itself exactly,
+    # the one-replica passthrough cluster must be bit-identical to the
+    # plain serving simulator, and the resilient policy must keep an
+    # N+1 cluster available through a whole replica dying.
+    assert result["cluster_determinism"], (
+        "same seed must yield identical chaos-sweep rows")
+    assert result["cluster_zero_fault_identical"], (
+        "a 1-replica passthrough cluster must match plain serving stats "
+        "bit for bit")
+    assert result["cluster_kill1_availability"] >= 0.97, (
+        f"resilient policy availability with one replica killed: "
+        f"{result['cluster_kill1_availability']:.1%} < 97%")

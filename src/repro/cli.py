@@ -10,6 +10,7 @@ Examples::
     python -m repro engine stats
     python -m repro engine bench --workers 2 --output BENCH_engine.json
     python -m repro faults --seed 3 --core-mtbf 0.5 --repair 0.1
+    python -m repro cluster --seed 3 --replicas 3 --duration 0.5
     python -m repro trace resnet50 tpuv4i --out trace.json
     python -m repro metrics --app cnn0 --chip TPUv4i
 
@@ -223,6 +224,35 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster import chaos_sweep
+
+    apps = tuple(args.apps.split(",")) if args.apps else ("cnn0",)
+    rows = chaos_sweep(seed=args.seed, apps=apps, replicas=args.replicas,
+                       duration_s=args.duration,
+                       utilization=args.utilization,
+                       max_batch=args.max_batch)
+    table = Table(
+        ["chip", "app", "scenario", "policy", "offered qps", "avail %",
+         "shed %", "p99 ms", "SLO viol %", "hedged", "ejected", "failover",
+         "degraded s"],
+        title=f"Chaos sweep ({args.replicas} replicas, "
+              f"{args.duration:.3g} s of traffic sized for "
+              f"{args.replicas - 1} replicas at "
+              f"{args.utilization:.0%} utilization)")
+    for row in rows:
+        stats = row.stats
+        table.add_row([
+            row.chip, row.app, row.scenario, row.policy, row.offered_qps,
+            100.0 * stats.availability, 100.0 * stats.shed_fraction,
+            stats.p99_s * 1e3, 100.0 * stats.slo_violation_fraction,
+            stats.hedged_requests, stats.ejections,
+            stats.failed_over_requests, stats.degraded_s,
+        ])
+    print(table.render())
+    return 0
+
+
 #: Friendly aliases for the observability commands, which are typed by
 #: hand far more often than scripted: the paper's model names map onto
 #: the zoo's internal ones.
@@ -404,6 +434,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated app names "
                              "(default: the DSE subset)")
     faults.set_defaults(func=_cmd_faults)
+
+    cluster = sub.add_parser(
+        "cluster", help="chaos sweep: protected vs unprotected N-replica "
+                        "clusters across chaos scenarios and generations")
+    cluster.add_argument("--seed", type=int, default=0,
+                         help="chaos + traffic seed (default 0)")
+    cluster.add_argument("--apps", default=None,
+                         help="comma-separated app names (default cnn0)")
+    cluster.add_argument("--replicas", type=int, default=3,
+                         help="replicas per cluster (default 3, i.e. N+1 "
+                              "over the 2 the traffic is sized for)")
+    cluster.add_argument("--duration", type=float, default=1.0,
+                         help="simulated traffic seconds per scenario")
+    cluster.add_argument("--utilization", type=float, default=0.6,
+                         help="offered load vs (replicas-1) SLO capacity")
+    cluster.add_argument("--max-batch", type=int, default=8,
+                         help="per-replica batching cap (default 8)")
+    cluster.set_defaults(func=_cmd_cluster)
 
     trace = sub.add_parser(
         "trace", help="deterministic Chrome trace of one app on one chip "

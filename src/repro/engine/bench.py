@@ -45,6 +45,16 @@ A seventh phase prices the observability layer:
 * ``trace_deterministic`` — two ``build_trace`` exports of the same app
   must serialize to byte-identical Chrome JSON.
 
+An eighth phase exercises the cluster-resilience layer:
+
+* ``cluster_sweep_s`` — one seeded chaos sweep (:func:`repro.cluster.
+  sweep.chaos_sweep`) on TPUv4i;
+* ``cluster_determinism`` — the same sweep again must match row for row;
+* ``cluster_zero_fault_identical`` — a one-replica passthrough cluster
+  with no faults must reproduce the plain serving stats bit for bit;
+* ``cluster_kill1_availability`` — availability of the resilient policy
+  with one of three replicas killed outright.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -158,6 +168,52 @@ def _bench_faults(apps: Sequence[str]) -> dict:
             row.faulted == row.baseline for row in zero),
         "min_availability": min(
             (row.faulted.availability for row in first), default=1.0),
+    }
+
+
+def _bench_cluster(apps: Sequence[str]) -> dict:
+    """Time a chaos sweep; assert determinism + the passthrough identity.
+
+    The identity check is the cluster layer's core contract: a
+    one-replica cluster under the default (passthrough) policy with no
+    faults must reproduce the plain ``ServingSimulator`` stats on the
+    same trace, every field bit for bit.
+    """
+    from repro.arch.chip import TPUV4I
+    from repro.cluster.cluster import ClusterSimulator
+    from repro.cluster.sweep import chaos_sweep
+    from repro.core.design_point import shared_design_point
+    from repro.serving.batching import BatchPolicy
+    from repro.serving.server import ServingSimulator
+    from repro.serving.slo import Slo
+    from repro.workloads.generator import RequestGenerator
+    from repro.workloads.models import app_by_name
+
+    bench_apps = tuple(apps)[:1]
+    t0 = time.perf_counter()
+    first = chaos_sweep(seed=5, apps=bench_apps, chips=(TPUV4I,),
+                        duration_s=0.5)
+    cluster_sweep_s = time.perf_counter() - t0
+    repeat = chaos_sweep(seed=5, apps=bench_apps, chips=(TPUV4I,),
+                         duration_s=0.5)
+
+    spec = app_by_name(bench_apps[0])
+    slo = Slo(spec.slo_ms / 1e3)
+    point = shared_design_point(TPUV4I)
+    simulator = ServingSimulator(
+        point, spec, BatchPolicy(max_batch=8, max_wait_s=slo.limit_s / 4.0),
+        slo)
+    requests = RequestGenerator(13).poisson(spec.name, 400.0, 0.5)
+    plain = simulator.simulate(requests)
+    clustered = ClusterSimulator([simulator]).simulate(requests)
+    resilient = [row.stats.availability for row in first
+                 if row.policy == "resilient" and row.scenario == "kill-1"]
+    return {
+        "cluster_sweep_s": round(cluster_sweep_s, 4),
+        "cluster_rows": len(first),
+        "cluster_determinism": first == repeat,
+        "cluster_zero_fault_identical": clustered.replica_stats[0] == plain,
+        "cluster_kill1_availability": min(resilient, default=1.0),
     }
 
 
@@ -296,6 +352,10 @@ def run_engine_benchmark(workers: Optional[int] = None,
         # Observability: metrics on/off identity + disabled-guard cost.
         obs_record = _bench_observability(apps)
 
+        # Cluster resilience: chaos sweep cost + passthrough identity.
+        clear_shared_design_points()
+        cluster_record = _bench_cluster(apps)
+
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
         record = {
@@ -318,6 +378,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             **sim_record,
             **fault_record,
             **obs_record,
+            **cluster_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -370,6 +431,11 @@ def render_benchmark(record: dict) -> str:
         f"{record['obs_disabled_overhead_pct']:.3f}% of wall time; "
         f"identical: {record['obs_identical']}, trace deterministic: "
         f"{record['trace_deterministic']}",
+        f"  cluster chaos sweep ({record['cluster_rows']} rows): "
+        f"{record['cluster_sweep_s']:.3f} s, deterministic: "
+        f"{record['cluster_determinism']}, passthrough identical: "
+        f"{record['cluster_zero_fault_identical']}, kill-1 availability "
+        f"{record['cluster_kill1_availability']:.1%}",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

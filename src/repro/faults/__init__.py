@@ -25,11 +25,12 @@ at all, and any seeded sweep is a pure function of its arguments.
 """
 
 from repro.faults.model import FaultModel, FaultSchedule
-from repro.faults.sweep import FaultSweepRow, fault_sweep
+from repro.faults.sweep import FaultSweepRow, fault_sweep, latency_table
 
 __all__ = [
     "FaultModel",
     "FaultSchedule",
     "FaultSweepRow",
     "fault_sweep",
+    "latency_table",
 ]

@@ -57,19 +57,19 @@ class FaultSchedule:
                  ) -> None:
         if cores < 1:
             raise ValueError("a schedule needs at least one core")
-        if horizon_s < 0:
-            raise ValueError("horizon must be non-negative")
+        if not horizon_s >= 0:  # phrased to reject NaN too
+            raise ValueError(f"horizon must be non-negative, got {horizon_s}")
         for core, start, end in down:
             if not 0 <= core < cores:
                 raise ValueError(f"down interval on unknown core {core}")
-            if start < 0 or end < start:
+            if not 0 <= start <= end:  # rejects negatives and NaN
                 raise ValueError(f"bad down interval [{start}, {end})")
         for core, start, end, factor in slowdowns:
             if not 0 <= core < cores:
                 raise ValueError(f"slowdown on unknown core {core}")
-            if start < 0 or end < start:
+            if not 0 <= start <= end:
                 raise ValueError(f"bad slowdown interval [{start}, {end})")
-            if factor < 1.0:
+            if not factor >= 1.0:
                 raise ValueError(f"slowdown factor must be >= 1, got {factor}")
         self.cores = cores
         self.horizon_s = horizon_s
@@ -206,19 +206,33 @@ class FaultModel:
     def __post_init__(self) -> None:
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        # Every rate/duration is validated here, at construction: a bad
+        # value must never survive into schedule generation, where a
+        # negative mean would crash deep inside the RNG and a NaN would
+        # pass every comparison and spin event_times() forever.
+        for name in ("core_mtbf_s", "chip_mtbf_s", "slowdown_mtbf_s",
+                     "core_repair_s", "chip_repair_s", "slowdown_s",
+                     "slowdown_factor", "retry_timeout_s", "horizon_pad_s"):
+            if math.isnan(getattr(self, name)):
+                raise ValueError(f"{name} must not be NaN")
         for name in ("core_mtbf_s", "chip_mtbf_s", "slowdown_mtbf_s"):
             if getattr(self, name) <= 0:
-                raise ValueError(f"{name} must be positive")
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}")
         for name in ("core_repair_s", "chip_repair_s", "slowdown_s",
                      "horizon_pad_s"):
             if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be non-negative")
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}")
         if self.slowdown_factor < 1.0:
-            raise ValueError("slowdown_factor must be >= 1")
+            raise ValueError(
+                f"slowdown_factor must be >= 1, got {self.slowdown_factor}")
         if self.retry_budget < 0:
-            raise ValueError("retry_budget must be non-negative")
+            raise ValueError(
+                f"retry_budget must be non-negative, got {self.retry_budget}")
         if self.retry_timeout_s <= 0:
-            raise ValueError("retry_timeout_s must be positive")
+            raise ValueError(
+                f"retry_timeout_s must be positive, got {self.retry_timeout_s}")
 
     @property
     def zero_fault(self) -> bool:

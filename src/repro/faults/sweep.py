@@ -52,18 +52,27 @@ class FaultSweepRow:
         return self.faulted.p99_s / self.baseline.p99_s
 
 
-def _latency_table(point: DesignPoint, spec,
-                   steps: Sequence[int]) -> dict[int, float]:
-    """Padded batch -> latency, falling back to int8 on bf16-less chips."""
+def latency_table(point: DesignPoint, spec, steps: Sequence[int], *,
+                  dtype: Optional[str] = None) -> dict[int, float]:
+    """Batch -> compute latency for one (chip, app), dtype-aware.
+
+    ``dtype=None`` picks the chip's natural serving path: bf16 where
+    supported, otherwise an int8-retargeted compile (TPUv1, and the
+    cluster's degraded-precision tier, actually ran int8 in production).
+    Passing ``dtype="int8"`` forces the retargeted path on any chip —
+    the PR 3 migration path the cluster degradation ladder reuses.
+    """
     chip = point.chip
-    if chip.supports_dtype("bf16"):
+    if dtype is None:
+        dtype = "bf16" if chip.supports_dtype("bf16") else "int8"
+    if dtype == "bf16":
         return {step: point.latency_s(spec, step) for step in steps}
     from repro.compiler.pipeline import compile_model, retarget_dtype
     table: dict[int, float] = {}
     for step in steps:
-        module = retarget_dtype(spec.build(step), "int8")
+        module = retarget_dtype(spec.build(step), dtype)
         program = compile_model(module, chip).program
-        table[step] = point.sim.run(program, dtype="int8").seconds
+        table[step] = point.sim.run(program, dtype=dtype).seconds
     return table
 
 
@@ -96,7 +105,7 @@ def fault_sweep(model: FaultModel, *,
         slo = Slo(spec.slo_ms / 1e3)
         point = shared_design_point(chip)
         steps = BatchPolicy.batch_steps(max_batch)
-        table = _latency_table(point, spec, steps)
+        table = latency_table(point, spec, steps)
 
         slo_batch = max((s for s in steps if table[s] <= slo.limit_s),
                         default=1)

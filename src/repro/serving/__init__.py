@@ -10,7 +10,16 @@ partitioning when several models share one chip.
 Failures are first-class: ``ServingSimulator.simulate`` accepts a
 seeded :class:`~repro.faults.model.FaultModel` (lost batches are
 retried on surviving cores under a budget), and :func:`plan_fleet`
-sizes N+k fleets whose SLO holds with ``k`` chips failed.
+sizes N+k fleets whose SLO holds with ``k`` chips failed. Request
+conservation is a :class:`ServingStats` constructor invariant —
+``requests == served + dropped + shed`` — so no accounting path can
+silently lose a request.
+
+One level up, :mod:`repro.cluster` replicates this simulator N ways
+behind a health-checked router (admission control, hedging, graceful
+degradation) and sizes N+k by *simulated* availability instead of rule
+of thumb; a one-replica passthrough cluster is bit-identical to a plain
+``ServingSimulator`` run.
 """
 
 from repro.serving.slo import Slo, percentile

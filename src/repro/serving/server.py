@@ -50,6 +50,14 @@ class ServingStats:
     The fault fields keep their defaults on a faultless run, so a
     zero-fault simulation compares equal — field for field, bit for
     bit — to one that never saw a fault model at all.
+
+    Request conservation is a constructor invariant: every offered
+    request must be accounted for exactly once, ``requests == served +
+    dropped + shed`` (``shed`` is only ever non-zero when a cluster
+    router performed admission control upstream of the simulator).
+    ``served_requests`` defaults to "derive it" so existing callers are
+    unaffected; the simulator passes its actual completion count so a
+    request can never silently vanish from the totals.
     """
 
     workload: str
@@ -67,11 +75,21 @@ class ServingStats:
     dropped_requests: int = 0          # budget/timeout exhausted, never served
     lost_batches: int = 0              # in-flight batches destroyed
     lost_capacity_fraction: float = 0.0  # core-seconds down / core-seconds
+    shed_requests: int = 0             # rejected by upstream admission control
+    served_requests: int = -1          # completions (-1: derive from the rest)
 
-    @property
-    def served_requests(self) -> int:
-        """Requests that actually completed (offered minus dropped)."""
-        return self.requests - self.dropped_requests
+    def __post_init__(self) -> None:
+        if self.served_requests < 0:
+            object.__setattr__(
+                self, "served_requests",
+                self.requests - self.dropped_requests - self.shed_requests)
+        accounted = (self.served_requests + self.dropped_requests
+                     + self.shed_requests)
+        if accounted != self.requests:
+            raise ValueError(
+                f"request conservation violated: {self.requests} arrived != "
+                f"{self.served_requests} served + {self.dropped_requests} "
+                f"dropped + {self.shed_requests} shed")
 
     def describe(self) -> str:
         base = (f"{self.workload} on {self.chip}: {self.requests} reqs, "
@@ -228,6 +246,19 @@ class ServingSimulator:
                 ready = queue[0][0] + self.policy.max_wait_s
             launch = max(server_free, ready)
 
+            if retried and not math.isinf(retry_timeout):
+                # A re-enqueued request whose relaunch would happen
+                # later than the retry timeout after its arrival is
+                # dropped here, not served arbitrarily late (and never
+                # silently lost: the conservation invariant in
+                # ServingStats.__post_init__ would catch that).
+                alive = [e for e in queue
+                         if not (e[1] > 0 and launch - e[0] > retry_timeout)]
+                if len(alive) != len(queue):
+                    dropped += len(queue) - len(alive)
+                    queue = alive
+                    continue
+
             if schedule is not None:
                 down_until = schedule.outage_end(core, launch)
                 if down_until is not None:
@@ -319,6 +350,7 @@ class ServingSimulator:
             dropped_requests=dropped,
             lost_batches=lost_batches,
             lost_capacity_fraction=lost_capacity,
+            served_requests=served,
         )
 
     def max_slo_batch(self) -> int:

@@ -132,3 +132,45 @@ class TestMetricsCommand:
         main(["metrics", "--app", "mlp0", "--batch", "2",
               "--duration", "0.02"])
         assert not global_metrics().enabled
+
+
+class TestFaultsCommand:
+    def test_faults_reports_lost_capacity_column(self, capsys):
+        assert main(["faults", "--seed", "1", "--duration", "0.2",
+                     "--apps", "cnn0"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity down %" in out
+        assert "p99 faulted" in out
+        assert "TPUv4i" in out
+
+    def test_faults_rejects_bad_duration(self, capsys):
+        assert main(["faults", "--duration", "-1"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestClusterCommand:
+    def test_cluster_runs_and_reports_columns(self, capsys):
+        assert main(["cluster", "--seed", "3", "--duration", "0.1",
+                     "--apps", "cnn0"]) == 0
+        out = capsys.readouterr().out
+        for column in ("scenario", "policy", "avail %", "shed %",
+                       "p99 ms", "hedged", "ejected", "failover",
+                       "degraded s"):
+            assert column in out
+        for scenario in ("faultless", "kill-1", "chip-outages",
+                         "slowdowns", "overload"):
+            assert scenario in out
+        assert "resilient" in out and "static" in out
+
+    def test_cluster_output_byte_identical_across_runs(self, capsys):
+        args = ["cluster", "--seed", "3", "--duration", "0.1",
+                "--apps", "cnn0"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_cluster_rejects_bad_replicas(self, capsys):
+        assert main(["cluster", "--replicas", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -66,6 +66,30 @@ class TestFaultModelValidation:
         with pytest.raises(ValueError):
             FaultModel(retry_timeout_s=0.0)
 
+    def test_nan_rejected_everywhere(self):
+        # NaN survives every <= / < comparison, so without an explicit
+        # check it would sail into schedule generation and spin the
+        # event loop forever. Each rate/duration must refuse it.
+        nan = float("nan")
+        for field in ("core_mtbf_s", "chip_mtbf_s", "slowdown_mtbf_s",
+                      "core_repair_s", "chip_repair_s", "slowdown_s",
+                      "slowdown_factor", "retry_timeout_s",
+                      "horizon_pad_s"):
+            with pytest.raises(ValueError, match="must not be NaN"):
+                FaultModel(**{field: nan})
+
+    def test_error_messages_name_the_value(self):
+        with pytest.raises(ValueError,
+                           match="core_mtbf_s must be positive, got -2.0"):
+            FaultModel(core_mtbf_s=-2.0)
+        with pytest.raises(ValueError,
+                           match="chip_repair_s must be non-negative"):
+            FaultModel(chip_repair_s=-0.5)
+        with pytest.raises(ValueError, match="got 0.25"):
+            FaultModel(slowdown_factor=0.25)
+        with pytest.raises(ValueError, match="retry_budget.*got -3"):
+            FaultModel(retry_budget=-3)
+
     def test_schedule_validation(self):
         with pytest.raises(ValueError):
             FaultSchedule(0, 1.0)
@@ -211,6 +235,28 @@ class TestServingUnderFaults:
                                        schedule=schedule)
         assert stats.dropped_requests == 1
         assert stats.retried_requests == 0
+
+    def test_retry_landing_after_timeout_drops(self, v4i_simulator):
+        # Regression: the kill happens *within* the retry timeout (so
+        # the request is retried), but the repair ends far beyond it —
+        # the relaunch must drop the request instead of serving it
+        # arbitrarily late. Before the fix this request was served at
+        # t=1.0 against a 100 ms timeout.
+        wait = v4i_simulator.policy.max_wait_s
+        compute = v4i_simulator.batch_latency_s(1)
+        fail_at = wait + compute / 2.0
+        schedule = FaultSchedule(1, 10.0, down=[(0, fail_at, 1.0)])
+        model = FaultModel(retry_budget=10, retry_timeout_s=0.1)
+        assert fail_at < 0.1  # the kill itself is inside the timeout
+        stats = v4i_simulator.simulate([Request(0.0, "c")], faults=model,
+                                       schedule=schedule)
+        assert stats.retried_requests == 1
+        assert stats.dropped_requests == 1
+        assert stats.served_requests == 0
+        assert stats.availability == 0.0
+        # Conservation held through the new drop path.
+        assert (stats.served_requests + stats.dropped_requests
+                + stats.shed_requests) == stats.requests
 
     def test_permanently_dead_chip_terminates(self, v4i_simulator, traffic):
         schedule = FaultSchedule(1, 10.0, down=[(0, 0.0, math.inf)])

@@ -193,6 +193,30 @@ class TestServingSimulator:
         assert math.isfinite(stats.throughput_qps)
 
 
+class TestServingStatsConservation:
+    def _stats(self, **overrides):
+        from repro.serving import ServingStats
+        fields = dict(workload="cnn0", chip="TPUv4i", requests=10,
+                      duration_s=1.0, p50_s=0.001, p95_s=0.002,
+                      p99_s=0.003, mean_batch=2.0, throughput_qps=10.0,
+                      slo_violation_fraction=0.0)
+        fields.update(overrides)
+        return ServingStats(**fields)
+
+    def test_mismatched_totals_rejected(self):
+        with pytest.raises(ValueError, match="conservation violated"):
+            self._stats(dropped_requests=2, shed_requests=1,
+                        served_requests=8)  # 8 + 2 + 1 != 10
+
+    def test_served_derived_when_unset(self):
+        stats = self._stats(dropped_requests=2, shed_requests=1)
+        assert stats.served_requests == 7
+
+    def test_explicit_consistent_totals_accepted(self):
+        stats = self._stats(dropped_requests=3, served_requests=7)
+        assert stats.shed_requests == 0
+
+
 class TestMultiTenancy:
     def _sim(self, point):
         tenants = [Tenant(app_by_name("cnn0"), 50),
