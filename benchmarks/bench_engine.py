@@ -75,3 +75,17 @@ def test_engine_benchmark(benchmark):
     assert result["cluster_kill1_availability"] >= 0.97, (
         f"resilient policy availability with one replica killed: "
         f"{result['cluster_kill1_availability']:.1%} < 97%")
+    # The vectorized grid kernel: bit-identical to the per-point replay
+    # on a 200+-point candidate grid, >= 5x over per-point replay, and
+    # >= 10x end-to-end over the engine's own serial sweep (on >= 100
+    # points the per-chip recompiles the kernel dedupes dominate).
+    assert result["grid_identical"], (
+        "batched grid kernel must match per-point replay bit for bit")
+    assert result["grid_sweep_identical"], (
+        "grid-routed sweep must match the engine serial sweep exactly")
+    assert result["grid_sweep_points"] >= 100
+    assert result["speedup_grid_vs_fast"] >= 5.0, (
+        f"grid kernel speedup {result['speedup_grid_vs_fast']}x < 5x")
+    assert result["speedup_grid_vs_engine_serial"] >= 10.0, (
+        f"grid sweep speedup "
+        f"{result['speedup_grid_vs_engine_serial']}x < 10x")

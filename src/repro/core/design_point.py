@@ -92,6 +92,11 @@ class DesignPoint:
 
     # --------------------------------------------------------------- caching
 
+    @property
+    def compiler_fp(self) -> str:
+        """Fingerprint of the compiler release (stable across processes)."""
+        return self._compiler_fp
+
     def _engine_cache(self) -> EvalCache:
         return self._cache if self._cache is not None else get_cache()
 
@@ -99,6 +104,64 @@ class DesignPoint:
              cmem_budget_bytes: Optional[int]) -> str:
         return eval_key(kind, self._chip_fp, self._compiler_fp, workload,
                         batch, cmem_budget_bytes, _EVAL_DTYPE)
+
+    def result_key(self, spec: WorkloadSpec, batch: int,
+                   cmem_budget_bytes: Optional[int] = None) -> str:
+        """The EvalCache key a :meth:`run` result lives under."""
+        return self._key("sim", spec.name, batch, cmem_budget_bytes)
+
+    def evaluation_key(self, spec: WorkloadSpec, batch: int,
+                       cmem_budget_bytes: Optional[int] = None) -> str:
+        """The EvalCache key an :meth:`evaluate` record lives under."""
+        return self._key("eval", spec.name, batch, cmem_budget_bytes)
+
+    def cached_result(self, spec: WorkloadSpec, batch: int,
+                      cmem_budget_bytes: Optional[int] = None
+                      ) -> Optional[SimResult]:
+        """A memo/EvalCache simulation hit, or None (never computes)."""
+        key = (spec.name, batch, cmem_budget_bytes)
+        hit = self._results.get(key)
+        if hit is not None:
+            return hit
+        with metrics().timer("tier.cache_lookup_s"):
+            cached = self._engine_cache().get(
+                self.result_key(spec, batch, cmem_budget_bytes))
+        if cached is not None:
+            self._results[key] = cached
+        return cached
+
+    def store_result(self, spec: WorkloadSpec, batch: int,
+                     cmem_budget_bytes: Optional[int],
+                     result: SimResult) -> None:
+        """Publish a simulation under the same keys :meth:`run` uses."""
+        self._engine_cache().put(
+            self.result_key(spec, batch, cmem_budget_bytes), result,
+            self._meta("sim", spec.name, batch, cmem_budget_bytes))
+        self._results[(spec.name, batch, cmem_budget_bytes)] = result
+
+    def cached_evaluation(self, spec: WorkloadSpec, batch: int,
+                          cmem_budget_bytes: Optional[int] = None
+                          ) -> Optional[Evaluation]:
+        """A memo/EvalCache evaluation hit, or None (never computes)."""
+        key = (spec.name, batch, cmem_budget_bytes)
+        hit = self._evaluations.get(key)
+        if hit is not None:
+            return hit
+        with metrics().timer("tier.cache_lookup_s"):
+            cached = self._engine_cache().get(
+                self.evaluation_key(spec, batch, cmem_budget_bytes))
+        if cached is not None:
+            self._evaluations[key] = cached
+        return cached
+
+    def store_evaluation(self, spec: WorkloadSpec, batch: int,
+                         cmem_budget_bytes: Optional[int],
+                         evaluation: Evaluation) -> None:
+        """Publish an evaluation under the keys :meth:`evaluate` uses."""
+        self._engine_cache().put(
+            self.evaluation_key(spec, batch, cmem_budget_bytes), evaluation,
+            self._meta("eval", spec.name, batch, cmem_budget_bytes))
+        self._evaluations[(spec.name, batch, cmem_budget_bytes)] = evaluation
 
     def _meta(self, kind: str, workload: str, batch: int,
               cmem_budget_bytes: Optional[int]) -> dict:
@@ -170,6 +233,20 @@ class DesignPoint:
                            cmem_budget_bytes: Optional[int]) -> Evaluation:
         result = self.run(spec, b, cmem_budget_bytes)
         compiled = self.compiled(spec, b, cmem_budget_bytes)
+        return self.evaluation_from(spec, b, cmem_budget_bytes, result,
+                                    compiled)
+
+    def evaluation_from(self, spec: WorkloadSpec, b: int,
+                        cmem_budget_bytes: Optional[int],
+                        result: SimResult,
+                        compiled: CompiledModel) -> Evaluation:
+        """Derive the chip-level record from a simulation + compilation.
+
+        Pure arithmetic — the only consumer of ``result``/``compiled``
+        content — shared by the per-point path above and the batched
+        grid path (:mod:`repro.engine.grid`), so both produce identical
+        records by construction.
+        """
         cores = self.chip.cores
         seconds = result.seconds
         counters = result.counters
@@ -210,12 +287,19 @@ class DesignPoint:
 
         This is Lesson 9 in executable form: the app's latency budget — not
         any architectural limit — decides the batch size.
+
+        The candidate ladder is simulated as one grid batch (identical
+        results to the per-candidate loop; see :mod:`repro.engine.grid`),
+        so a cold SLO probe costs one kernel dispatch, not nine runs.
         """
         if slo_s <= 0:
             raise ValueError("SLO must be positive")
+        from repro.engine.grid import GridJob, run_grid
+        results = run_grid([GridJob(self, spec, batch)
+                            for batch in candidates])
         best = 0
-        for batch in candidates:
-            if self.latency_s(spec, batch) <= slo_s:
+        for batch, result in zip(candidates, results):
+            if result.seconds <= slo_s:
                 best = max(best, batch)
         return best
 

@@ -52,21 +52,22 @@ def cmem_sweep(spec: WorkloadSpec, capacities_bytes: Sequence[int],
     """(capacity, latency seconds) for a workload across CMEM budgets.
 
     ``workers`` > 1 fans the capacities out over the engine's process
-    pool; the default stays serial (in-process, still cache-backed).
+    pool; the default dispatches the whole capacity axis as one grid
+    batch (in-process, still cache-backed).
+
+    Inputs are validated once, up front, identically on every dispatch
+    path — a bad capacity raises before *any* point is evaluated.
     """
-    b = batch if batch is not None else spec.default_batch
-    if workers is not None and workers > 1:
-        from repro.engine.sweeps import cmem_capacity_sweep
-        return cmem_capacity_sweep(spec, capacities_bytes, chip, b,
-                                   workers=workers)
-    point = shared_design_point(chip)
-    sweep: list[tuple[int, float]] = []
-    for capacity in capacities_bytes:
+    capacities = list(capacities_bytes)
+    for capacity in capacities:
         if capacity < 0:
             raise ValueError("CMEM capacity must be non-negative")
-        sweep.append((capacity, point.latency_s(spec, b,
-                                                cmem_budget_bytes=capacity)))
-    return sweep
+    b = batch if batch is not None else spec.default_batch
+    from repro.engine.sweeps import cmem_capacity_sweep
+    # cmem_capacity_sweep(workers=None) means "all CPUs"; here None means
+    # the serial in-process path, which the engine spells workers=1.
+    return cmem_capacity_sweep(spec, capacities, chip, b,
+                               workers=workers if workers is not None else 1)
 
 
 # ------------------------------------------------------------- candidates
@@ -133,15 +134,15 @@ def enumerate_candidates(
     return grid
 
 
-def evaluate_candidate(chip: ChipConfig,
-                       app_names: Sequence[str] = DEFAULT_DSE_APPS,
-                       version: CompilerVersion = LATEST
-                       ) -> DesignCandidate:
-    """Evaluate one candidate on the app set (geomean chip QPS) + TDP."""
-    point = shared_design_point(chip, version)
-    qps: list[float] = []
-    for spec in _apps(app_names):
-        qps.append(point.evaluate(spec).chip_qps)
+def candidate_from_evaluations(chip: ChipConfig,
+                               evaluations: Sequence) -> DesignCandidate:
+    """Fold per-app :class:`Evaluation` records into a candidate.
+
+    The arithmetic shared by the serial loop and the grid-batched path:
+    geomean over the evaluations' ``chip_qps`` in the given (app) order,
+    plus the chip-only TDP/area estimates.
+    """
+    qps = [evaluation.chip_qps for evaluation in evaluations]
     geomean = math.prod(qps) ** (1.0 / len(qps))
     tdp = PowerModel(chip).tdp_estimate_w()
     return DesignCandidate(
@@ -151,6 +152,40 @@ def evaluate_candidate(chip: ChipConfig,
         air_coolable=air_coolable(tdp),
         die_mm2_estimate=_die_estimate_mm2(chip),
     )
+
+
+def evaluate_candidate(chip: ChipConfig,
+                       app_names: Sequence[str] = DEFAULT_DSE_APPS,
+                       version: CompilerVersion = LATEST
+                       ) -> DesignCandidate:
+    """Evaluate one candidate on the app set (geomean chip QPS) + TDP."""
+    point = shared_design_point(chip, version)
+    evaluations = [point.evaluate(spec) for spec in _apps(app_names)]
+    return candidate_from_evaluations(chip, evaluations)
+
+
+def evaluate_candidates_grid(chips: Sequence[ChipConfig],
+                             app_names: Sequence[str] = DEFAULT_DSE_APPS,
+                             version: CompilerVersion = LATEST
+                             ) -> list[DesignCandidate]:
+    """Evaluate a candidate grid as one batched kernel dispatch.
+
+    Every (chip, app) pair becomes one grid job: cache hits are excluded
+    up front, the misses share compilations per distinct compile content
+    and one vectorized replay batch, and the per-candidate fold is
+    :func:`candidate_from_evaluations` — so the result list is identical
+    to ``[evaluate_candidate(c, app_names, version) for c in chips]``.
+    """
+    from repro.engine.grid import GridJob, evaluate_jobs
+    specs = _apps(app_names)
+    jobs = [GridJob(shared_design_point(chip, version), spec)
+            for chip in chips for spec in specs]
+    evaluations = evaluate_jobs(jobs)
+    return [
+        candidate_from_evaluations(
+            chip, evaluations[i * len(specs):(i + 1) * len(specs)])
+        for i, chip in enumerate(chips)
+    ]
 
 
 def evaluate_candidates(chips: Sequence[ChipConfig],

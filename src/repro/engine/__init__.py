@@ -35,6 +35,15 @@ from repro.engine.cache import (
     get_cache,
     set_cache,
 )
+from repro.engine.grid import (
+    GridJob,
+    GridStats,
+    clear_grid_stats,
+    compile_chip_fingerprint,
+    evaluate_jobs,
+    grid_stats,
+    run_grid,
+)
 from repro.engine.keys import (
     chip_fingerprint,
     compiler_fingerprint,
@@ -72,26 +81,33 @@ def engine_disabled() -> Iterator[None]:
 __all__ = [
     "CacheStats",
     "EvalCache",
+    "GridJob",
+    "GridStats",
     "ParallelSweeper",
     "available_workers",
     "batch_latency_grid",
     "built_module",
     "cache_disabled",
     "chip_fingerprint",
+    "clear_grid_stats",
     "clear_lowered",
     "clear_modules",
     "cmem_capacity_sweep",
+    "compile_chip_fingerprint",
     "compiler_fingerprint",
     "configure_cache",
     "engine_disabled",
     "eval_key",
     "evaluate_candidates",
+    "evaluate_jobs",
     "fingerprint",
     "get_cache",
+    "grid_stats",
     "lowered_cache_disabled",
     "lowered_cache_size",
     "lowered_cache_stats",
     "lowered_program",
     "module_cache_disabled",
+    "run_grid",
     "set_cache",
 ]

@@ -55,6 +55,19 @@ An eighth phase exercises the cluster-resilience layer:
 * ``cluster_kill1_availability`` — availability of the resilient policy
   with one of three replicas killed outright.
 
+A ninth phase times the vectorized grid kernel
+(:mod:`repro.sim.gridkernel`) on a clock x MXU x CMEM candidate grid:
+
+* ``grid_fast_cold_s`` / ``grid_cold_s`` — 200+ (chip, app) points
+  replayed per point vs evaluated as one batched kernel pass, both cold;
+* ``grid_identical`` — the batched results must match the per-point
+  replay bit for bit;
+* ``grid_sweep_serial_s`` / ``grid_sweep_s`` — the same candidate sweep
+  end to end (compile + simulate + evaluate), per-point engine serial
+  (``gridsim_disabled``) vs grid-routed, fresh caches both ways;
+* ``speedup_grid_vs_fast`` / ``speedup_grid_vs_engine_serial`` — the
+  PR-tracked headlines.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -73,6 +86,7 @@ from repro.engine.cache import EvalCache, get_cache, set_cache
 from repro.engine.lowered import clear_lowered, lowered_cache_disabled
 from repro.engine.modules import clear_modules, module_cache_disabled
 from repro.engine.parallel import available_workers
+from repro.sim.gridkernel import clear_grid_kernel, gridsim_disabled
 from repro.sim.lowered import fastsim_disabled
 
 #: Default output location: the repository/working-directory root.
@@ -283,6 +297,103 @@ def _bench_observability(apps: Sequence[str]) -> dict:
     }
 
 
+#: Clock axis for the grid-kernel phase: wide enough that the candidate
+#: grid tops 200 (chip, app) points while compiling only once per
+#: distinct CMEM provisioning (clock and MXU count never change compiled
+#: content). The kernel-vs-replay comparison doubles the axis again —
+#: more points per program amortize the one-time structure build.
+_GRID_CLOCKS_GHZ = (0.85, 0.95, 1.05, 1.15, 1.25, 1.35)
+_GRID_KERNEL_CLOCKS_GHZ = tuple(
+    clock + offset for clock in _GRID_CLOCKS_GHZ for offset in (0.0, 0.05))
+
+
+def _bench_grid(apps: Sequence[str]) -> dict:
+    """Time the batched grid kernel against its per-point references.
+
+    Two comparisons on one clock x MXU x CMEM candidate grid:
+
+    * kernel vs per-point replay on the compiled programs (both cold,
+      both starting from the same shared compilations) — the
+      ``speedup_grid_vs_fast`` headline, with bit-identity asserted over
+      every point;
+    * the whole candidate sweep end to end, grid-routed vs the per-point
+      engine serial loop (``gridsim_disabled``), fresh caches both ways
+      — ``speedup_grid_vs_engine_serial``.
+    """
+    from repro.core.design_point import (
+        DesignPoint,
+        clear_shared_design_points,
+    )
+    from repro.core.dse import enumerate_candidates
+    from repro.engine.grid import compile_chip_fingerprint
+    from repro.engine.sweeps import evaluate_candidates
+    from repro.sim.gridkernel import GridPoint, evaluate_grid
+    from repro.workloads.models import app_by_name
+
+    chips = enumerate_candidates(clocks_ghz=_GRID_CLOCKS_GHZ)
+
+    # (a) Simulation path alone: one GridPoint per (chip, app), programs
+    # compiled once per distinct compile content (the CMEM axis; clock
+    # and MXU count don't change compiled programs).
+    programs: dict = {}
+    points = []
+    for chip in enumerate_candidates(clocks_ghz=_GRID_KERNEL_CLOCKS_GHZ):
+        dp = DesignPoint(chip, cache=EvalCache(enabled=False))
+        for app in apps:
+            spec = app_by_name(app)
+            key = (compile_chip_fingerprint(chip), app)
+            program = programs.get(key)
+            if program is None:
+                program = dp.compiled(spec, spec.default_batch).program
+                programs[key] = program
+            points.append(GridPoint(program, chip))
+
+    clear_lowered()
+    t0 = time.perf_counter()
+    with gridsim_disabled():
+        reference = evaluate_grid(points)  # the per-point replay loop
+    grid_fast_cold_s = time.perf_counter() - t0
+
+    clear_grid_kernel()
+    t0 = time.perf_counter()
+    batched = evaluate_grid(points)
+    grid_cold_s = time.perf_counter() - t0
+
+    grid_identical = all(
+        a.cycles == b.cycles and a.counters == b.counters
+        and a.report == b.report
+        for a, b in zip(reference, batched))
+
+    # (b) The sweep end to end, fresh caches each way.
+    def cold_sweep() -> tuple:
+        set_cache(EvalCache())
+        clear_modules()
+        clear_lowered()
+        clear_shared_design_points()
+        clear_grid_kernel()
+        t0 = time.perf_counter()
+        out = evaluate_candidates(chips, apps, workers=1)
+        return out, time.perf_counter() - t0
+
+    with gridsim_disabled():
+        serial, grid_sweep_serial_s = cold_sweep()
+    routed, grid_sweep_s = cold_sweep()
+
+    return {
+        "grid_points": len(points),
+        "grid_fast_cold_s": round(grid_fast_cold_s, 4),
+        "grid_cold_s": round(grid_cold_s, 4),
+        "speedup_grid_vs_fast": round(grid_fast_cold_s / grid_cold_s, 2),
+        "grid_identical": grid_identical,
+        "grid_sweep_points": len(chips) * len(apps),
+        "grid_sweep_serial_s": round(grid_sweep_serial_s, 4),
+        "grid_sweep_s": round(grid_sweep_s, 4),
+        "speedup_grid_vs_engine_serial": round(
+            grid_sweep_serial_s / grid_sweep_s, 2),
+        "grid_sweep_identical": serial == routed,
+    }
+
+
 def run_engine_benchmark(workers: Optional[int] = None,
                          app_names: Optional[Sequence[str]] = None,
                          ) -> dict:
@@ -312,13 +423,16 @@ def run_engine_benchmark(workers: Optional[int] = None,
         serial_legacy = _sweep_serial_legacy(grid, apps)
         serial_cold_s = time.perf_counter() - t0
 
-        # Engine, serial, cold result + lowered caches.
+        # Engine, serial, cold result + lowered caches. The grid kernel
+        # is opted out so this stays the per-point reference the grid
+        # phase below is measured against.
         set_cache(EvalCache())
         clear_modules()
         clear_lowered()
         clear_shared_design_points()
         t0 = time.perf_counter()
-        engine_serial = evaluate_candidates(grid, apps, workers=1)
+        with gridsim_disabled():
+            engine_serial = evaluate_candidates(grid, apps, workers=1)
         engine_serial_cold_s = time.perf_counter() - t0
 
         # Engine, parallel, cold result cache. The sweeper itself decides
@@ -356,6 +470,10 @@ def run_engine_benchmark(workers: Optional[int] = None,
         clear_shared_design_points()
         cluster_record = _bench_cluster(apps)
 
+        # Grid kernel: batched-vs-per-point replay + end-to-end sweep.
+        clear_shared_design_points()
+        grid_record = _bench_grid(apps)
+
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
         record = {
@@ -379,6 +497,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             **fault_record,
             **obs_record,
             **cluster_record,
+            **grid_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -390,6 +509,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
         set_cache(previous)
         clear_modules()
         clear_lowered()
+        clear_grid_kernel()
         clear_shared_design_points()
 
 
@@ -436,6 +556,16 @@ def render_benchmark(record: dict) -> str:
         f"{record['cluster_determinism']}, passthrough identical: "
         f"{record['cluster_zero_fault_identical']}, kill-1 availability "
         f"{record['cluster_kill1_availability']:.1%}",
+        f"  grid kernel ({record['grid_points']} points): per-point "
+        f"{record['grid_fast_cold_s']:.3f} s, batched "
+        f"{record['grid_cold_s']:.3f} s "
+        f"({record['speedup_grid_vs_fast']:.2f}x, identical: "
+        f"{record['grid_identical']})",
+        f"  grid sweep ({record['grid_sweep_points']} points): engine "
+        f"serial {record['grid_sweep_serial_s']:.3f} s, grid-routed "
+        f"{record['grid_sweep_s']:.3f} s "
+        f"({record['speedup_grid_vs_engine_serial']:.2f}x, identical: "
+        f"{record['grid_sweep_identical']})",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

@@ -1,0 +1,271 @@
+"""Batched grid evaluation: EvalCache-aware routing into the grid kernel.
+
+:mod:`repro.sim.gridkernel` evaluates many (program, chip, dtype) points
+in one batched pass; this module is the engine-side wrapper the sweeps
+and planners call. It adds what the kernel deliberately does not know
+about:
+
+* **cache exclusion** — points already in a DesignPoint memo or the
+  :class:`~repro.engine.cache.EvalCache` never enter the batch; computed
+  results are stored back through the same keys, so a grid-warmed cache
+  is indistinguishable from a per-point-warmed one and results merge
+  deterministically in job order;
+* **compile-content dedupe** — compiled programs depend on a strict
+  subset of chip fields (memory sizes, MXU tile dim, dtypes, ISA
+  generation — *not* clock, MXU count, or power/cooling limits), so a
+  sweep axis over clock or MXU count compiles once per distinct content
+  (:func:`compile_chip_fingerprint`; invariance asserted in
+  ``tests/test_gridsim.py``) instead of once per chip;
+* **fallback parity** — with the kernel opted out (``REPRO_GRIDSIM=0``)
+  or the fast path off (``REPRO_FASTSIM=0``), every job runs the
+  per-point :meth:`DesignPoint.run` / :meth:`DesignPoint.evaluate` path,
+  so the documented gating contracts keep holding.
+
+Counters flow through :func:`repro.obs.metrics.metrics` (the
+``engine.grid.*`` family) and the always-on module stats
+(:func:`grid_stats`) reported by ``repro engine stats``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+from repro.engine.keys import fingerprint
+from repro.obs.metrics import metrics
+from repro.sim.gridkernel import GridPoint, evaluate_grid, gridsim_enabled
+from repro.sim.lowered import fastsim_enabled
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.pipeline import CompiledModel
+    from repro.core.design_point import DesignPoint, Evaluation
+    from repro.sim.core import SimResult
+    from repro.workloads.models import WorkloadSpec
+
+#: Chip fields a compiled program's *content* cannot depend on: the
+#: compiler reads memory sizes/dtypes/tile geometry and the ISA
+#: generation, never the clock, the MXU replication count (sharding is
+#: an execution-time split), or power/cooling provisioning.
+_COMPILE_IRRELEVANT = frozenset(
+    {"name", "clock_hz", "mxus_per_core", "tdp_w", "idle_w", "cooling"})
+
+
+def compile_chip_fingerprint(chip) -> str:
+    """Digest over the chip fields that determine compiled content.
+
+    Two chips with equal fingerprints compile any workload to programs
+    with identical ``Program.signature()`` and identical memory planning
+    (``cmem_hit_fraction``); ``tests/test_gridsim.py`` asserts this for
+    every excluded field.
+    """
+    fields = {f.name: getattr(chip, f.name)
+              for f in dataclasses.fields(chip)
+              if f.name not in _COMPILE_IRRELEVANT}
+    return fingerprint(fields)
+
+
+# ------------------------------------------------------------------- jobs
+
+@dataclass(frozen=True)
+class GridJob:
+    """One (design point, workload, batch, CMEM budget) evaluation."""
+
+    point: "DesignPoint"
+    spec: "WorkloadSpec"
+    batch: Optional[int] = None
+    cmem_budget_bytes: Optional[int] = None
+
+    @property
+    def resolved_batch(self) -> int:
+        return self.batch if self.batch is not None \
+            else self.spec.default_batch
+
+
+# ------------------------------------------------------------------ stats
+
+@dataclass
+class GridStats:
+    """Engine-side accounting for ``repro engine stats``."""
+
+    batches: int = 0           # batched kernel dispatches
+    points: int = 0            # jobs routed through run_grid/evaluate_jobs
+    batched_points: int = 0    # unique points the kernel actually evaluated
+    cache_hits: int = 0        # jobs excluded from the batch by a cache
+    fallback_points: int = 0   # jobs run per-point (kernel opted out)
+    shared_compiles: int = 0   # compiles avoided by content dedupe
+
+    def describe(self) -> str:
+        return (f"grid: {self.batches} batches, {self.points} jobs "
+                f"({self.batched_points} batched, {self.cache_hits} cache "
+                f"hits, {self.fallback_points} per-point), "
+                f"{self.shared_compiles} compiles shared")
+
+
+_STATS = GridStats()
+
+
+def grid_stats() -> GridStats:
+    return _STATS
+
+
+def clear_grid_stats() -> None:
+    global _STATS
+    _STATS = GridStats()
+
+
+# ---------------------------------------------------------------- helpers
+
+def _eval_dtype() -> str:
+    from repro.core.design_point import _EVAL_DTYPE
+    return _EVAL_DTYPE
+
+
+def _shared_compiled(job: GridJob, batch: int,
+                     compiled_by_key: Dict[tuple, "CompiledModel"]
+                     ) -> "CompiledModel":
+    """Compile once per distinct compile content across the whole batch."""
+    key = (compile_chip_fingerprint(job.point.chip),
+           job.point.compiler_fp, job.spec.name, batch,
+           job.cmem_budget_bytes)
+    compiled = compiled_by_key.get(key)
+    if compiled is None:
+        with metrics().timer("tier.compile_s"):
+            compiled = job.point.compiled(job.spec, batch,
+                                          job.cmem_budget_bytes)
+        compiled_by_key[key] = compiled
+    else:
+        _STATS.shared_compiles += 1
+        metrics().count("engine.grid.shared_compiles")
+    return compiled
+
+
+def _batched(n_jobs: int) -> bool:
+    """Whether jobs should enter the batched kernel path at all."""
+    return bool(n_jobs) and gridsim_enabled() and fastsim_enabled()
+
+
+# --------------------------------------------------------------- run_grid
+
+def run_grid(jobs: Sequence[GridJob],
+             compiled_by_key: Optional[Dict[tuple, "CompiledModel"]] = None
+             ) -> list:
+    """Simulate every job; ``SimResult`` objects in job order.
+
+    Identical to ``[job.point.run(job.spec, job.resolved_batch,
+    job.cmem_budget_bytes) for job in jobs]`` — cached jobs are served
+    from the same memo/EvalCache tiers, missing jobs are evaluated in
+    one kernel batch (compiling once per distinct compile content) and
+    stored back under the same keys. With the kernel opted out
+    (``REPRO_GRIDSIM=0``) or the fast path off (``REPRO_FASTSIM=0``),
+    that per-point loop is exactly what runs.
+    """
+    jobs = list(jobs)
+    reg = metrics()
+    _STATS.points += len(jobs)
+    reg.count("engine.grid.points", len(jobs))
+    if not _batched(len(jobs)):
+        _STATS.fallback_points += len(jobs)
+        reg.count("engine.grid.fallback_points", len(jobs))
+        return [job.point.run(job.spec, job.resolved_batch,
+                              job.cmem_budget_bytes) for job in jobs]
+
+    results: list = [None] * len(jobs)
+    misses: list[int] = []
+    for i, job in enumerate(jobs):
+        cached = job.point.cached_result(job.spec, job.resolved_batch,
+                                         job.cmem_budget_bytes)
+        if cached is not None:
+            results[i] = cached
+        else:
+            misses.append(i)
+    hits = len(jobs) - len(misses)
+    _STATS.cache_hits += hits
+    reg.count("engine.grid.cache_hits", hits)
+    if not misses:
+        return results
+
+    _STATS.batches += 1
+    reg.count("engine.grid.batches")
+    if compiled_by_key is None:
+        compiled_by_key = {}
+    slot_by_key: Dict[str, int] = {}
+    batch_points: list[GridPoint] = []
+    miss_keys: list[str] = []
+    for i in misses:
+        job = jobs[i]
+        batch = job.resolved_batch
+        ekey = job.point.result_key(job.spec, batch, job.cmem_budget_bytes)
+        if ekey not in slot_by_key:
+            compiled = _shared_compiled(job, batch, compiled_by_key)
+            slot_by_key[ekey] = len(batch_points)
+            batch_points.append(GridPoint(compiled.program, job.point.chip,
+                                          _eval_dtype()))
+        miss_keys.append(ekey)
+    with reg.timer("tier.sim_s"):
+        sims = evaluate_grid(batch_points)
+    _STATS.batched_points += len(batch_points)
+    reg.count("engine.grid.batched_points", len(batch_points))
+    for i, ekey in zip(misses, miss_keys):
+        job = jobs[i]
+        result = sims[slot_by_key[ekey]]
+        job.point.store_result(job.spec, job.resolved_batch,
+                               job.cmem_budget_bytes, result)
+        results[i] = result
+    return results
+
+
+# ----------------------------------------------------------- evaluate_jobs
+
+def evaluate_jobs(jobs: Sequence[GridJob]) -> list:
+    """Evaluate every job; ``Evaluation`` objects in job order.
+
+    The batched counterpart of ``[job.point.evaluate(...) for job in
+    jobs]``: evaluation-cache hits are excluded, missing jobs share one
+    simulation batch *and* one compile per distinct compile content, and
+    the derived chip-level arithmetic
+    (:meth:`DesignPoint.evaluation_from`) is the per-point code, so the
+    records are identical either way.
+    """
+    jobs = list(jobs)
+    _STATS.points += len(jobs)
+    metrics().count("engine.grid.points", len(jobs))
+    if not _batched(len(jobs)):
+        _STATS.fallback_points += len(jobs)
+        metrics().count("engine.grid.fallback_points", len(jobs))
+        return [job.point.evaluate(job.spec, job.batch,
+                                   job.cmem_budget_bytes) for job in jobs]
+
+    results: list = [None] * len(jobs)
+    misses: list[int] = []
+    for i, job in enumerate(jobs):
+        cached = job.point.cached_evaluation(job.spec, job.resolved_batch,
+                                             job.cmem_budget_bytes)
+        if cached is not None:
+            results[i] = cached
+            _STATS.cache_hits += 1
+            metrics().count("engine.grid.cache_hits")
+        else:
+            misses.append(i)
+    if not misses:
+        return results
+
+    compiled_by_key: Dict[tuple, "CompiledModel"] = {}
+    sims = run_grid([jobs[i] for i in misses],
+                    compiled_by_key=compiled_by_key)
+    seen: Dict[str, "Evaluation"] = {}
+    for idx, i in enumerate(misses):
+        job = jobs[i]
+        batch = job.resolved_batch
+        ekey = job.point.evaluation_key(job.spec, batch,
+                                        job.cmem_budget_bytes)
+        evaluation = seen.get(ekey)
+        if evaluation is None:
+            compiled = _shared_compiled(job, batch, compiled_by_key)
+            evaluation = job.point.evaluation_from(
+                job.spec, batch, job.cmem_budget_bytes, sims[idx], compiled)
+            seen[ekey] = evaluation
+        job.point.store_evaluation(job.spec, batch, job.cmem_budget_bytes,
+                                   evaluation)
+        results[i] = evaluation
+    return results

@@ -6,6 +6,11 @@ core -> engine at import time while letting workers execute core code.
 
 Every sweep returns results in input order, so feeding them to
 ``pareto_frontier`` / tables gives output identical to the serial loops.
+
+When a sweep would run serially (one effective worker), it is dispatched
+as **one batched grid evaluation** through :mod:`repro.engine.grid`
+instead of a per-point loop: same results, same cache contents, one
+vectorized kernel pass. ``REPRO_GRIDSIM=0`` restores the literal loops.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.engine.parallel import ParallelSweeper
 from repro.obs.metrics import metrics
+from repro.sim.gridkernel import gridsim_enabled
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.arch.chip import ChipConfig
@@ -51,6 +57,9 @@ def evaluate_candidates(chips: Sequence["ChipConfig"],
     sweeper = ParallelSweeper(workers=workers, chunk_size=chunk_size)
     tasks = [(chip, names, release.name) for chip in chips]
     metrics().count("engine.sweeps.candidates", len(tasks))
+    if sweeper.effective_workers(len(tasks)) <= 1 and gridsim_enabled():
+        from repro.core.dse import evaluate_candidates_grid
+        return evaluate_candidates_grid(list(chips), names, release)
     return sweeper.map_cached(_candidate_task, tasks)
 
 
@@ -77,6 +86,14 @@ def cmem_capacity_sweep(spec: "WorkloadSpec", capacities_bytes: Sequence[int],
     tasks = [(chip, spec.name, batch, capacity)
              for capacity in capacities_bytes]
     metrics().count("engine.sweeps.cmem_points", len(tasks))
+    if sweeper.effective_workers(len(tasks)) <= 1 and gridsim_enabled():
+        from repro.core.design_point import shared_design_point
+        from repro.engine.grid import GridJob, run_grid
+        point = shared_design_point(chip)
+        results = run_grid([GridJob(point, spec, batch, capacity)
+                            for capacity in capacities_bytes])
+        return [(capacity, result.seconds)
+                for capacity, result in zip(capacities_bytes, results)]
     return sweeper.map_cached(_cmem_task, tasks)
 
 
@@ -104,4 +121,14 @@ def batch_latency_grid(chip: "ChipConfig", workload: str,
     sweeper = ParallelSweeper(workers=workers)
     tasks = [(chip, release.name, workload, batch) for batch in batches]
     metrics().count("engine.sweeps.batch_points", len(tasks))
+    if sweeper.effective_workers(len(tasks)) <= 1 and gridsim_enabled():
+        from repro.core.design_point import shared_design_point
+        from repro.engine.grid import GridJob, run_grid
+        from repro.workloads.models import app_by_name
+        point = shared_design_point(chip, release)
+        spec = app_by_name(workload)
+        results = run_grid([GridJob(point, spec, batch)
+                            for batch in batches])
+        return {batch: result.seconds
+                for batch, result in zip(batches, results)}
     return dict(sweeper.map_cached(_latency_task, tasks))
