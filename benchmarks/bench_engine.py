@@ -89,3 +89,12 @@ def test_engine_benchmark(benchmark):
     assert result["speedup_grid_vs_engine_serial"] >= 10.0, (
         f"grid sweep speedup "
         f"{result['speedup_grid_vs_engine_serial']}x < 10x")
+    # The vectorized serving-replay kernel: bit-identical to the event
+    # loops on every chaos-sweep row at 10x the cluster phase's traffic,
+    # and >= 5x faster (the tentpole acceptance bar).
+    assert result["fastserve_identical"], (
+        "serving-replay kernel must match the event loops bit for bit "
+        "on every chaos-sweep row")
+    assert result["speedup_fastserve_vs_event"] >= 5.0, (
+        f"serving replay speedup "
+        f"{result['speedup_fastserve_vs_event']}x < 5x")

@@ -163,8 +163,10 @@ def _cmd_engine(args: argparse.Namespace) -> int:
     cache = _engine_cache(args)
     if args.action == "stats":
         from repro.engine.grid import grid_stats
+        from repro.serving.fastserve import fastserve_stats
         print(cache.describe())
         print(grid_stats().describe())
+        print(fastserve_stats().describe())
         if cache.disk_dir is None:
             print("hint: set REPRO_CACHE_DIR=.repro_cache (or pass --dir) "
                   "to persist results across runs")

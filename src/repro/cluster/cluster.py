@@ -40,10 +40,11 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from repro.cluster.policy import ClusterPolicy
 from repro.obs.metrics import metrics
 from repro.serving.batching import BatchPolicy
+from repro.serving.fastserve import fastserve_enabled, replay_cluster
 from repro.serving.server import (DEFAULT_RETRY_BUDGET,
                                   DEFAULT_RETRY_TIMEOUT_S, ServingSimulator,
                                   ServingStats)
-from repro.serving.slo import Slo, percentile
+from repro.serving.slo import Slo, percentile_sorted
 from repro.workloads.generator import Request
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -217,19 +218,20 @@ class _Replica:
                 self.schedule.downtime_core_s(
                     self.first_arrival, self.first_arrival + duration)
                 / (self.sim.point.chip.cores * duration))
+        ordered = sorted(self.latencies)
         return ServingStats(
             workload=self.sim.spec.name,
             chip=self.sim.point.chip.name,
             requests=total,
             duration_s=duration,
-            p50_s=percentile(self.latencies, 50) if self.latencies else 0.0,
-            p95_s=percentile(self.latencies, 95) if self.latencies else 0.0,
-            p99_s=percentile(self.latencies, 99) if self.latencies else 0.0,
+            p50_s=percentile_sorted(ordered, 50) if ordered else 0.0,
+            p95_s=percentile_sorted(ordered, 95) if ordered else 0.0,
+            p99_s=percentile_sorted(ordered, 99) if ordered else 0.0,
             mean_batch=(sum(self.batch_sizes) / len(self.batch_sizes)
                         if self.batch_sizes else 0.0),
             throughput_qps=served / duration if duration > 0 else 0.0,
-            slo_violation_fraction=self.sim.slo.violation_fraction(
-                self.latencies),
+            slo_violation_fraction=self.sim.slo.violation_fraction_sorted(
+                ordered),
             availability=served / total if total else 1.0,
             retried_requests=self.retried,
             dropped_requests=self.dropped,
@@ -256,17 +258,28 @@ class ClusterSimulator:
             raise ValueError(
                 "degradation tiers need health probing: the tier controller "
                 "runs on the probe clock (set probe_interval_s)")
+        # Degradation-tier latency tables, memoized per unique
+        # (chip, compiler, workload, steps, dtype): identical replicas
+        # share one table instead of recompiling per replica.
+        self._tier_table_memo: dict[tuple, dict[int, float]] = {}
 
     @classmethod
     def homogeneous(cls, point, spec, policy: BatchPolicy, slo: Slo,
                     replicas: int,
                     cluster_policy: Optional[ClusterPolicy] = None,
                     ) -> "ClusterSimulator":
-        """Build N identical replicas of one (design point, workload)."""
+        """Build N identical replicas of one (design point, workload).
+
+        Identical replicas serve identical latencies, so they share one
+        batch-latency memo: the cluster compiles/simulates each padded
+        batch size once, not once per replica.
+        """
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
         sims = [ServingSimulator(point, spec, policy, slo)
                 for _ in range(replicas)]
+        for sim in sims[1:]:
+            sim._latency_cache = sims[0]._latency_cache
         return cls(sims, cluster_policy)
 
     # ------------------------------------------------------------- internals
@@ -301,9 +314,17 @@ class ClusterSimulator:
         tables: list[dict[str, dict[int, float]]] = []
         for sim in self.replica_sims:
             steps = BatchPolicy.batch_steps(sim.policy.max_batch)
-            tables.append({dtype: latency_table(sim.point, sim.spec, steps,
-                                                dtype=dtype)
-                           for dtype in dtypes})
+            per_dtype: dict[str, dict[int, float]] = {}
+            for dtype in dtypes:
+                key = (sim.point.chip_fp, sim.point.compiler_fp,
+                       sim.spec.name, steps, dtype)
+                table = self._tier_table_memo.get(key)
+                if table is None:
+                    table = latency_table(sim.point, sim.spec, steps,
+                                          dtype=dtype)
+                    self._tier_table_memo[key] = table
+                per_dtype[dtype] = table
+            tables.append(per_dtype)
         return tables
 
     # -------------------------------------------------------------- simulate
@@ -321,11 +342,19 @@ class ClusterSimulator:
         ``tracer`` records batch spans per replica core plus router
         instants (ejections, re-admissions, tier changes) — a pure side
         channel, bit-identical stats either way.
+
+        ``requests`` may be :class:`Request` objects or bare arrival
+        timestamps (floats) — the router only ever reads arrival times,
+        and sweeps over hundreds of thousands of requests skip a lot of
+        object construction by passing timestamps directly.
         """
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
-        arrivals = [r.arrival_s for r in requests]
-        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        if isinstance(requests[0], Request):
+            arrivals = [r.arrival_s for r in requests]
+        else:
+            arrivals = list(requests)
+        if arrivals != sorted(arrivals):  # C-speed on near-sorted input
             raise ValueError("requests must be sorted by arrival time")
 
         policy = self.policy
@@ -360,6 +389,19 @@ class ClusterSimulator:
                 for i, sim in enumerate(self.replica_sims)]
         tier_tables = self._tier_tables()
 
+        if fastserve_enabled():
+            return replay_cluster(self, arrivals, reps, tier_tables,
+                                  retry_budget, retry_timeout, tracer)
+        return self._replay_events(arrivals, reps, tier_tables,
+                                   retry_budget, retry_timeout, tracer)
+
+    def _replay_events(self, arrivals: list[float], reps: list[_Replica],
+                       tier_tables: list, retry_budget: int,
+                       retry_timeout: float,
+                       tracer: Optional["SpanTracer"]) -> ClusterStats:
+        """Reference event loop (``REPRO_FASTSERVE=0`` path)."""
+        policy = self.policy
+        n = len(reps)
         reg = metrics()
         rec = reg.enabled
 
@@ -751,7 +793,26 @@ class ClusterSimulator:
                 (completion, _P_COMPLETION, completion_seq, rep.index,
                  tuple(batch)))
 
-        # ----- wrap up -----
+        return self._finalize(
+            arrivals, reps, cluster_latencies, shed, dropped_unique, hedged,
+            cancelled_hedges, wasted_hedges, failed_over, probes,
+            probe_failures, ejections, readmissions, tier_names, tier_time,
+            tier, tier_since)
+
+    def _finalize(self, arrivals: list[float], reps: list[_Replica],
+                  cluster_latencies: list[float], shed: int,
+                  dropped_unique: int, hedged: int, cancelled_hedges: int,
+                  wasted_hedges: int, failed_over: int, probes: int,
+                  probe_failures: int, ejections: int, readmissions: int,
+                  tier_names: tuple, tier_time: list[float], tier: int,
+                  tier_since: float) -> ClusterStats:
+        """Fold replay outputs into :class:`ClusterStats` (shared by the
+        event loop and the fastserve kernel; cluster percentiles come
+        from one sorted copy of the latency list)."""
+        total = len(arrivals)
+        n = len(reps)
+        reg = metrics()
+        rec = reg.enabled
         last_completion = max((r.last_completion for r in reps), default=0.0)
         end_time = max(last_completion, arrivals[-1])
         # Probes can outlive the traffic window while draining a dead
@@ -777,23 +838,21 @@ class ClusterSimulator:
             reg.counter("cluster.ejections").inc(ejections)
             reg.counter("cluster.readmissions").inc(readmissions)
 
+        ordered = sorted(cluster_latencies)
         return ClusterStats(
             workload=self.replica_sims[0].spec.name,
             chip=self.replica_sims[0].point.chip.name,
             replicas=n,
             requests=total,
             duration_s=duration,
-            p50_s=(percentile(cluster_latencies, 50)
-                   if cluster_latencies else 0.0),
-            p95_s=(percentile(cluster_latencies, 95)
-                   if cluster_latencies else 0.0),
-            p99_s=(percentile(cluster_latencies, 99)
-                   if cluster_latencies else 0.0),
+            p50_s=percentile_sorted(ordered, 50) if ordered else 0.0,
+            p95_s=percentile_sorted(ordered, 95) if ordered else 0.0,
+            p99_s=percentile_sorted(ordered, 99) if ordered else 0.0,
             mean_batch=(mean_batch_num / mean_batch_den
                         if mean_batch_den else 0.0),
             throughput_qps=served / duration if duration > 0 else 0.0,
             slo_violation_fraction=self.replica_sims[0].slo
-            .violation_fraction(cluster_latencies),
+            .violation_fraction_sorted(ordered),
             availability=served / total,
             served_requests=served,
             dropped_requests=dropped_unique,

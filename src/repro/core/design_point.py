@@ -93,6 +93,11 @@ class DesignPoint:
     # --------------------------------------------------------------- caching
 
     @property
+    def chip_fp(self) -> str:
+        """Fingerprint of the chip config (stable across processes)."""
+        return self._chip_fp
+
+    @property
     def compiler_fp(self) -> str:
         """Fingerprint of the compiler release (stable across processes)."""
         return self._compiler_fp

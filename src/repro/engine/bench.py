@@ -68,6 +68,17 @@ A ninth phase times the vectorized grid kernel
 * ``speedup_grid_vs_fast`` / ``speedup_grid_vs_engine_serial`` — the
   PR-tracked headlines.
 
+A tenth phase times the vectorized serving-replay kernel
+(:mod:`repro.serving.fastserve`) on the chaos sweep at 10x the cluster
+phase's traffic volume (5 s of Poisson arrivals per scenario):
+
+* ``serve_fast_s`` / ``serve_cold_s`` — the same seeded chaos sweep
+  through the replay kernels vs the reference event loops
+  (``fastserve_disabled``);
+* ``fastserve_identical`` — every row must match bit for bit;
+* ``speedup_fastserve_vs_event`` — the PR-tracked headline;
+* ``serve_requests`` — total requests replayed across the sweep's rows.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -228,6 +239,40 @@ def _bench_cluster(apps: Sequence[str]) -> dict:
         "cluster_determinism": first == repeat,
         "cluster_zero_fault_identical": clustered.replica_stats[0] == plain,
         "cluster_kill1_availability": min(resilient, default=1.0),
+    }
+
+
+def _bench_fastserve(apps: Sequence[str]) -> dict:
+    """Chaos sweep at 10x the cluster phase's volume, kernel vs events.
+
+    Same seed/chip/app as the cluster phase but 5 s of traffic per
+    scenario instead of 0.5 s — the scale the replay kernels were built
+    for. The identity check is row-for-row bit equality against the
+    reference event loops; the speedup is the PR-tracked headline.
+    """
+    from repro.arch.chip import TPUV4I
+    from repro.cluster.sweep import chaos_sweep
+    from repro.serving.fastserve import fastserve_disabled
+
+    bench_apps = tuple(apps)[:1]
+    t0 = time.perf_counter()
+    fast = chaos_sweep(seed=5, apps=bench_apps, chips=(TPUV4I,),
+                       duration_s=5.0)
+    serve_fast_s = time.perf_counter() - t0
+
+    with fastserve_disabled():
+        t0 = time.perf_counter()
+        cold = chaos_sweep(seed=5, apps=bench_apps, chips=(TPUV4I,),
+                           duration_s=5.0)
+        serve_cold_s = time.perf_counter() - t0
+
+    return {
+        "serve_chaos_rows": len(fast),
+        "serve_requests": sum(row.stats.requests for row in fast),
+        "serve_fast_s": round(serve_fast_s, 4),
+        "serve_cold_s": round(serve_cold_s, 4),
+        "speedup_fastserve_vs_event": round(serve_cold_s / serve_fast_s, 2),
+        "fastserve_identical": fast == cold,
     }
 
 
@@ -474,6 +519,10 @@ def run_engine_benchmark(workers: Optional[int] = None,
         clear_shared_design_points()
         grid_record = _bench_grid(apps)
 
+        # Serving-replay kernel: chaos sweep at 10x volume vs events.
+        clear_shared_design_points()
+        fastserve_record = _bench_fastserve(apps)
+
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
         record = {
@@ -498,6 +547,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             **obs_record,
             **cluster_record,
             **grid_record,
+            **fastserve_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -566,6 +616,12 @@ def render_benchmark(record: dict) -> str:
         f"{record['grid_sweep_s']:.3f} s "
         f"({record['speedup_grid_vs_engine_serial']:.2f}x, identical: "
         f"{record['grid_sweep_identical']})",
+        f"  serving replay ({record['serve_chaos_rows']} chaos rows, "
+        f"{record['serve_requests']:,} requests): events "
+        f"{record['serve_cold_s']:.3f} s, kernel "
+        f"{record['serve_fast_s']:.3f} s "
+        f"({record['speedup_fastserve_vs_event']:.2f}x, identical: "
+        f"{record['fastserve_identical']})",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

@@ -66,13 +66,32 @@ def latency_table(point: DesignPoint, spec, steps: Sequence[int], *,
     if dtype is None:
         dtype = "bf16" if chip.supports_dtype("bf16") else "int8"
     if dtype == "bf16":
-        return {step: point.latency_s(spec, step) for step in steps}
+        # One batched grid-kernel pass over every step (each result
+        # lands in the EvalCache under the same key latency_s uses).
+        from repro.engine.grid import GridJob, run_grid
+        results = run_grid([GridJob(point, spec, step) for step in steps])
+        return {step: r.seconds for step, r in zip(steps, results)}
     from repro.compiler.pipeline import compile_model, retarget_dtype
+    from repro.engine.cache import get_cache
+    from repro.engine.keys import eval_key, key_meta
+    cache = get_cache()
     table: dict[int, float] = {}
     for step in steps:
-        module = retarget_dtype(spec.build(step), dtype)
-        program = compile_model(module, chip).program
-        table[step] = point.sim.run(program, dtype=dtype).seconds
+        # Retargeted compiles are content-addressed too, so identical
+        # replicas (and later processes, via the disk tier) share one
+        # compile per unique (chip, compiler, app, step, dtype).
+        key = eval_key("sim", point.chip_fp, point.compiler_fp, spec.name,
+                       step, None, dtype)
+        result = cache.get(key)
+        if result is None:
+            module = retarget_dtype(spec.build(step), dtype)
+            program = compile_model(module, chip,
+                                    version=point.version).program
+            result = point.sim.run(program, dtype=dtype)
+            cache.put(key, result,
+                      key_meta("sim", chip.name, point.version.name,
+                               spec.name, step, None, dtype))
+        table[step] = result.seconds
     return table
 
 
@@ -119,8 +138,10 @@ def fault_sweep(model: FaultModel, *,
 
         # Per-pair traffic stream, derived from the fault seed so the
         # sweep stays a pure function of (model, apps, chips, ...).
+        # Bare timestamps (same draws as .poisson, which delegates
+        # here): the simulator only reads arrival times.
         traffic = RequestGenerator(model.seed * 7919 + pair_index)
-        requests = traffic.poisson(spec.name, rate_qps, duration_s)
+        requests = traffic.rng.poisson_arrivals(rate_qps, duration_s)
         if not requests:
             continue  # degenerate rate/duration; nothing to serve
         baseline = simulator.simulate(requests)

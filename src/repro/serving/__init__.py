@@ -22,9 +22,16 @@ of thumb; a one-replica passthrough cluster is bit-identical to a plain
 ``ServingSimulator`` run.
 """
 
-from repro.serving.slo import Slo, percentile
+from repro.serving.slo import Slo, percentile, percentile_sorted
 from repro.serving.batching import BatchPolicy
 from repro.serving.server import ServingSimulator, ServingStats
+from repro.serving.fastserve import (
+    FastServeStats,
+    clear_fastserve,
+    fastserve_disabled,
+    fastserve_enabled,
+    fastserve_stats,
+)
 from repro.serving.fleet import FleetPlan, plan_fleet
 from repro.serving.priority import TwoTierServer, TwoTierStats
 from repro.serving.multitenancy import (
@@ -37,7 +44,13 @@ from repro.serving.multitenancy import (
 __all__ = [
     "Slo",
     "percentile",
+    "percentile_sorted",
     "BatchPolicy",
+    "FastServeStats",
+    "clear_fastserve",
+    "fastserve_disabled",
+    "fastserve_enabled",
+    "fastserve_stats",
     "ServingSimulator",
     "ServingStats",
     "FleetPlan",

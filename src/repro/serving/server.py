@@ -29,7 +29,8 @@ from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 from repro.core.design_point import DesignPoint
 from repro.obs.metrics import UNIT_BUCKETS, metrics
 from repro.serving.batching import BatchPolicy
-from repro.serving.slo import Slo, percentile
+from repro.serving.fastserve import fastserve_enabled, replay_serving
+from repro.serving.slo import Slo, percentile_sorted
 from repro.workloads.generator import Request
 from repro.workloads.models import WorkloadSpec
 
@@ -180,11 +181,19 @@ class ServingSimulator:
         defaults) the loop performs no extra work beyond one boolean
         check per launch, and the returned stats are bit-identical
         either way (asserted in ``tests/test_obs.py``).
+
+        ``requests`` may be :class:`Request` objects or bare arrival
+        timestamps (floats) — the simulator only ever reads arrival
+        times, and large sweeps skip a lot of object construction by
+        passing timestamps directly.
         """
         if not requests:
             raise ValueError("cannot simulate an empty request stream")
-        arrivals = [r.arrival_s for r in requests]
-        if any(b < a for a, b in zip(arrivals, arrivals[1:])):
+        if isinstance(requests[0], Request):
+            arrivals = [r.arrival_s for r in requests]
+        else:
+            arrivals = list(requests)
+        if arrivals != sorted(arrivals):  # C-speed on near-sorted input
             raise ValueError("requests must be sorted by arrival time")
 
         cores = self.point.chip.cores
@@ -203,7 +212,18 @@ class ServingSimulator:
         if schedule is not None and schedule.is_empty:
             schedule = None  # empty timeline: take the faultless fast path
 
-        servers = [(0.0, core) for core in range(cores)]
+        if fastserve_enabled():
+            return replay_serving(self, arrivals, schedule, retry_budget,
+                                  retry_timeout, tracer)
+        return self._replay_events(arrivals, schedule, retry_budget,
+                                   retry_timeout, tracer)
+
+    def _replay_events(self, arrivals: list[float],
+                       schedule: Optional["FaultSchedule"],
+                       retry_budget: int, retry_timeout: float,
+                       tracer: Optional["SpanTracer"]) -> ServingStats:
+        """Reference event loop (``REPRO_FASTSERVE=0`` path)."""
+        servers = [(0.0, core) for core in range(self.point.chip.cores)]
         heapq.heapify(servers)
 
         # Observability: hoist the enabled checks so the faultless fast
@@ -319,6 +339,21 @@ class ServingSimulator:
             batch_sizes.append(size)
             last_completion = max(last_completion, completion)
 
+        return self._finalize(arrivals, schedule, latencies, batch_sizes,
+                              retried, dropped, lost_batches, last_completion)
+
+    def _finalize(self, arrivals: list[float],
+                  schedule: Optional["FaultSchedule"],
+                  latencies: list[float], batch_sizes: list[int],
+                  retried: int, dropped: int, lost_batches: int,
+                  last_completion: float) -> ServingStats:
+        """Fold replay outputs into :class:`ServingStats` (shared by the
+        event loop and the fastserve kernel; stats are computed from one
+        sorted copy of the latency list, so both paths and all percentile
+        queries see identical floats)."""
+        total = len(arrivals)
+        reg = metrics()
+        rec = reg.enabled
         duration = max(last_completion, arrivals[-1]) - arrivals[0]
         served = len(latencies)
         if rec:
@@ -332,19 +367,20 @@ class ServingSimulator:
         if schedule is not None and duration > 0:
             lost_capacity = (
                 schedule.downtime_core_s(arrivals[0], arrivals[0] + duration)
-                / (cores * duration))
+                / (self.point.chip.cores * duration))
+        ordered = sorted(latencies)
         return ServingStats(
             workload=self.spec.name,
             chip=self.point.chip.name,
             requests=total,
             duration_s=duration,
-            p50_s=percentile(latencies, 50) if latencies else 0.0,
-            p95_s=percentile(latencies, 95) if latencies else 0.0,
-            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            p50_s=percentile_sorted(ordered, 50) if ordered else 0.0,
+            p95_s=percentile_sorted(ordered, 95) if ordered else 0.0,
+            p99_s=percentile_sorted(ordered, 99) if ordered else 0.0,
             mean_batch=(sum(batch_sizes) / len(batch_sizes)
                         if batch_sizes else 0.0),
             throughput_qps=served / duration if duration > 0 else 0.0,
-            slo_violation_fraction=self.slo.violation_fraction(latencies),
+            slo_violation_fraction=self.slo.violation_fraction_sorted(ordered),
             availability=served / total,
             retried_requests=retried,
             dropped_requests=dropped,

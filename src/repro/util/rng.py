@@ -44,16 +44,41 @@ class DeterministicRng:
         return float(self._gen.exponential(mean))
 
     def poisson_arrivals(self, rate_per_s: float, duration_s: float) -> List[float]:
-        """Arrival timestamps of a Poisson process over [0, duration_s)."""
+        """Arrival timestamps of a Poisson process over [0, duration_s).
+
+        Draws gaps in vectorized chunks but stays bit-identical to the
+        obvious scalar loop (``now += exp(); stop when now >= duration``):
+        numpy fills an array from the same stream element by element, a
+        running ``cumsum`` seeded with ``now`` performs the same float
+        additions in the same order, and when the terminating draw lands
+        mid-chunk the generator state is rewound and exactly the draws
+        the scalar loop would have consumed are re-drawn — so a later
+        caller of this generator sees an unchanged stream.
+        """
         if rate_per_s <= 0:
             raise ValueError(f"rate must be positive, got {rate_per_s}")
+        mean = 1.0 / rate_per_s
+        gen = self._gen
+        bit_gen = gen.bit_generator
         arrivals: List[float] = []
         now = 0.0
+        chunk = 4096
         while True:
-            now += float(self._gen.exponential(1.0 / rate_per_s))
-            if now >= duration_s:
+            state = bit_gen.state
+            gaps = gen.exponential(mean, chunk)
+            cum = np.cumsum(np.concatenate(((now,), gaps)))[1:]
+            stop = int(np.searchsorted(cum, duration_s, side="left"))
+            if stop < chunk:
+                # The terminating draw is inside this chunk: rewind and
+                # consume exactly stop+1 draws, as the scalar loop would.
+                bit_gen.state = state
+                tail = gen.exponential(mean, stop + 1)
+                if stop:
+                    cum = np.cumsum(np.concatenate(((now,), tail)))[1:]
+                    arrivals.extend(cum[:stop].tolist())
                 return arrivals
-            arrivals.append(now)
+            arrivals.extend(cum.tolist())
+            now = float(cum[-1])
 
     def event_times(self, mean_interval_s: float,
                     horizon_s: float) -> List[float]:
