@@ -75,6 +75,18 @@ def test_engine_benchmark(benchmark):
     assert result["cluster_kill1_availability"] >= 0.97, (
         f"resilient policy availability with one replica killed: "
         f"{result['cluster_kill1_availability']:.1%} < 97%")
+    # Pod-scale sharding: the pod chaos sweep must reproduce itself
+    # exactly, a 1-chip zero-link-fault slice must be bit-identical to
+    # the plain serving simulator, and the resilient policy must keep a
+    # slice-sharded cluster available through a dead ICI link.
+    assert result["pod_determinism"], (
+        "same seed must yield identical pod chaos-sweep rows")
+    assert result["pod_identity"], (
+        "a 1-chip slice with zero link faults must match plain serving "
+        "stats bit for bit")
+    assert result["pod_kill1_link_availability"] >= 0.97, (
+        f"resilient policy availability with one ICI link killed: "
+        f"{result['pod_kill1_link_availability']:.1%} < 97%")
     # The vectorized grid kernel: bit-identical to the per-point replay
     # on a 200+-point candidate grid, >= 5x over per-point replay, and
     # >= 10x end-to-end over the engine's own serial sweep (on >= 100

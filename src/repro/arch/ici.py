@@ -22,14 +22,27 @@ class IciLink:
     latency_s: float = 1e-6
 
     def __post_init__(self) -> None:
+        # Validated here, at construction, with the offending value named
+        # (the FaultModel convention): a NaN would pass every downstream
+        # comparison and poison every latency it touches, a zero or
+        # negative bandwidth would turn transfer times into inf/negative
+        # seconds deep inside a collective cost model.
+        if math.isnan(self.bandwidth):
+            raise ValueError("bandwidth must not be NaN")
         if self.bandwidth <= 0:
-            raise ValueError("link bandwidth must be positive")
+            raise ValueError(
+                f"bandwidth must be positive, got {self.bandwidth}")
+        if math.isnan(self.latency_s):
+            raise ValueError("latency_s must not be NaN")
         if self.latency_s < 0:
-            raise ValueError("latency must be non-negative")
+            raise ValueError(
+                f"latency_s must be non-negative, got {self.latency_s}")
 
     def transfer_seconds(self, num_bytes: float) -> float:
+        if math.isnan(num_bytes):
+            raise ValueError("bytes must not be NaN")
         if num_bytes < 0:
-            raise ValueError("bytes must be non-negative")
+            raise ValueError(f"bytes must be non-negative, got {num_bytes}")
         return self.latency_s + num_bytes / self.bandwidth
 
 

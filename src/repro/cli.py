@@ -257,6 +257,38 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pod(args: argparse.Namespace) -> int:
+    from repro.pod import pod_chaos_sweep
+
+    apps = tuple(args.apps.split(",")) if args.apps else ("cnn0",)
+    rows = pod_chaos_sweep(seed=args.seed, apps=apps, slices=args.slices,
+                           slice_chips=args.slice_chips,
+                           duration_s=args.duration,
+                           utilization=args.utilization,
+                           max_batch=args.max_batch,
+                           parallelism=args.parallelism)
+    table = Table(
+        ["chip", "app", "topology", "scenario", "policy", "offered qps",
+         "avail %", "shed %", "p99 ms", "SLO viol %", "ejected", "failover",
+         "degraded s"],
+        title=f"Pod chaos sweep ({args.slices} slices x "
+              f"{args.slice_chips} chips, {args.parallelism}-parallel, "
+              f"{args.duration:.3g} s of traffic sized for "
+              f"{args.slices - 1} slices at "
+              f"{args.utilization:.0%} utilization)")
+    for row in rows:
+        stats = row.stats
+        table.add_row([
+            row.chip, row.app, row.topology, row.scenario, row.policy,
+            row.offered_qps, 100.0 * stats.availability,
+            100.0 * stats.shed_fraction, stats.p99_s * 1e3,
+            100.0 * stats.slo_violation_fraction, stats.ejections,
+            stats.failed_over_requests, stats.degraded_s,
+        ])
+    print(table.render())
+    return 0
+
+
 #: Friendly aliases for the observability commands, which are typed by
 #: hand far more often than scripted: the paper's model names map onto
 #: the zoo's internal ones.
@@ -456,6 +488,30 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--max-batch", type=int, default=8,
                          help="per-replica batching cap (default 8)")
     cluster.set_defaults(func=_cmd_cluster)
+
+    pod = sub.add_parser(
+        "pod", help="pod chaos sweep: clusters of multi-chip sharded "
+                    "slices under link/slice fault scenarios, on both "
+                    "the torus and OCS fabrics")
+    pod.add_argument("--seed", type=int, default=0,
+                     help="chaos + traffic seed (default 0)")
+    pod.add_argument("--apps", default=None,
+                     help="comma-separated app names (default cnn0)")
+    pod.add_argument("--slices", type=int, default=3,
+                     help="slices per cluster (default 3, i.e. N+1 over "
+                          "the 2 the traffic is sized for)")
+    pod.add_argument("--slice-chips", type=int, default=4,
+                     help="chips per slice (default 4)")
+    pod.add_argument("--duration", type=float, default=1.0,
+                     help="simulated traffic seconds per scenario")
+    pod.add_argument("--utilization", type=float, default=0.6,
+                     help="offered load vs (slices-1) SLO capacity")
+    pod.add_argument("--max-batch", type=int, default=8,
+                     help="per-slice batching cap (default 8)")
+    pod.add_argument("--parallelism", default="pipeline",
+                     choices=("pipeline", "tensor"),
+                     help="how each slice shards the model")
+    pod.set_defaults(func=_cmd_pod)
 
     trace = sub.add_parser(
         "trace", help="deterministic Chrome trace of one app on one chip "

@@ -79,6 +79,18 @@ phase's traffic volume (5 s of Poisson arrivals per scenario):
 * ``speedup_fastserve_vs_event`` — the PR-tracked headline;
 * ``serve_requests`` — total requests replayed across the sweep's rows.
 
+An eleventh phase exercises the pod-scale sharding layer:
+
+* ``pod_sweep_s`` — one seeded pod chaos sweep (:func:`repro.pod.sweep.
+  pod_chaos_sweep`): clusters of 4-chip sharded slices on both the
+  torus and OCS fabrics, across the link/slice fault scenarios;
+* ``pod_determinism`` — the same sweep again must match row for row;
+* ``pod_identity`` — a 1-chip slice with zero link faults must
+  reproduce the plain ``ServingSimulator`` stats bit for bit (the
+  identity contract the slice simulator is built on);
+* ``pod_kill1_link_availability`` — availability of the resilient
+  policy with one ICI link of one slice killed outright.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -273,6 +285,53 @@ def _bench_fastserve(apps: Sequence[str]) -> dict:
         "serve_cold_s": round(serve_cold_s, 4),
         "speedup_fastserve_vs_event": round(serve_cold_s / serve_fast_s, 2),
         "fastserve_identical": fast == cold,
+    }
+
+
+def _bench_pod(apps: Sequence[str]) -> dict:
+    """Time a pod chaos sweep; assert determinism + the 1-chip identity.
+
+    The identity check is the slice simulator's core contract: a 1-chip
+    slice with zero link faults never builds a shard graph and must
+    reproduce the plain ``ServingSimulator`` stats on the same trace,
+    every field bit for bit.
+    """
+    from repro.arch.chip import TPUV4I
+    from repro.core.design_point import shared_design_point
+    from repro.pod.slicesim import SliceSimulator
+    from repro.pod.sweep import pod_chaos_sweep
+    from repro.pod.topology import slice_topology
+    from repro.serving.batching import BatchPolicy
+    from repro.serving.server import ServingSimulator
+    from repro.serving.slo import Slo
+    from repro.workloads.generator import RequestGenerator
+    from repro.workloads.models import app_by_name
+
+    bench_apps = tuple(apps)[:1]
+    t0 = time.perf_counter()
+    first = pod_chaos_sweep(seed=5, apps=bench_apps, chips=(TPUV4I,),
+                            duration_s=0.5)
+    pod_sweep_s = time.perf_counter() - t0
+    repeat = pod_chaos_sweep(seed=5, apps=bench_apps, chips=(TPUV4I,),
+                             duration_s=0.5)
+
+    spec = app_by_name(bench_apps[0])
+    slo = Slo(spec.slo_ms / 1e3)
+    point = shared_design_point(TPUV4I)
+    policy = BatchPolicy(max_batch=8, max_wait_s=slo.limit_s / 4.0)
+    requests = RequestGenerator(13).poisson(spec.name, 400.0, 0.5)
+    plain = ServingSimulator(point, spec, policy, slo).simulate(requests)
+    sliced = SliceSimulator(
+        point, spec, policy, slo,
+        topology=slice_topology(TPUV4I, 1)).simulate(requests)
+    kill1 = [row.stats.availability for row in first
+             if row.policy == "resilient" and row.scenario == "kill-1-link"]
+    return {
+        "pod_sweep_s": round(pod_sweep_s, 4),
+        "pod_rows": len(first),
+        "pod_determinism": first == repeat,
+        "pod_identity": sliced == plain,
+        "pod_kill1_link_availability": min(kill1, default=1.0),
     }
 
 
@@ -515,6 +574,10 @@ def run_engine_benchmark(workers: Optional[int] = None,
         clear_shared_design_points()
         cluster_record = _bench_cluster(apps)
 
+        # Pod sharding: chaos sweep cost + 1-chip slice identity.
+        clear_shared_design_points()
+        pod_record = _bench_pod(apps)
+
         # Grid kernel: batched-vs-per-point replay + end-to-end sweep.
         clear_shared_design_points()
         grid_record = _bench_grid(apps)
@@ -546,6 +609,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             **fault_record,
             **obs_record,
             **cluster_record,
+            **pod_record,
             **grid_record,
             **fastserve_record,
             "cache": {
@@ -606,6 +670,11 @@ def render_benchmark(record: dict) -> str:
         f"{record['cluster_determinism']}, passthrough identical: "
         f"{record['cluster_zero_fault_identical']}, kill-1 availability "
         f"{record['cluster_kill1_availability']:.1%}",
+        f"  pod chaos sweep ({record['pod_rows']} rows): "
+        f"{record['pod_sweep_s']:.3f} s, deterministic: "
+        f"{record['pod_determinism']}, 1-chip slice identical: "
+        f"{record['pod_identity']}, kill-1-link availability "
+        f"{record['pod_kill1_link_availability']:.1%}",
         f"  grid kernel ({record['grid_points']} points): per-point "
         f"{record['grid_fast_cold_s']:.3f} s, batched "
         f"{record['grid_cold_s']:.3f} s "

@@ -49,6 +49,25 @@ class FaultSchedule:
     ``(core, start_s, end_s, factor)`` windows during which batches
     launched on that core run ``factor`` times slower. Chip-wide outages
     are expanded to one interval per core before construction.
+
+    **Boundary contract.** Every interval is half-open ``[start, end)``:
+    a query at exactly ``start`` is *inside* the interval, a query at
+    exactly ``end`` is *outside*. Concretely:
+
+    * ``outage_end(core, start)`` returns the interval's end;
+      ``outage_end(core, end)`` returns ``None`` (the core is back).
+    * ``slowdown_factor(core, start)`` applies the factor;
+      ``slowdown_factor(core, end)`` does not.
+    * ``first_failure_between(core, a, b)`` matches outages whose start
+      is *strictly* inside the open interval ``(a, b)``: a failure at
+      exactly ``a`` (batch launch — the launcher already checked the
+      core was up) or exactly ``b`` (batch completion — results are
+      committed) does not kill the batch.
+
+    These semantics are pinned by regression tests in
+    ``tests/test_faults.py`` — link and slice fault sources in
+    ``repro.pod`` reuse these queries with link indices in the core
+    slot, so changing any boundary silently changes pod chaos results.
     """
 
     def __init__(self, cores: int, horizon_s: float,
@@ -106,6 +125,10 @@ class FaultSchedule:
     def outage_end(self, core: int, t: float) -> Optional[float]:
         """End of the outage covering instant ``t`` on ``core``, or None.
 
+        Intervals are half-open: an outage ``[start, stop)`` covers
+        ``t == start`` but not ``t == stop`` (the core is considered
+        repaired at the instant the interval ends).
+
         Overlapping outages (a core failure inside a chip outage) return
         the latest covering end, so a caller waiting it out never lands
         inside another known interval.
@@ -124,7 +147,10 @@ class FaultSchedule:
 
         This is the "core dies mid-batch" query: a batch occupying
         ``[start_s, end_s)`` is destroyed by the first failure that
-        begins after launch and before completion.
+        begins after launch and before completion. Both endpoints are
+        exclusive — a failure at exactly ``start_s`` is the launcher's
+        problem (it should have consulted :meth:`outage_end`), and a
+        failure at exactly ``end_s`` arrives after the batch committed.
         """
         for start, stop in self._down_by_core[core]:
             if start >= end_s:
@@ -134,7 +160,12 @@ class FaultSchedule:
         return None
 
     def slowdown_factor(self, core: int, t: float) -> float:
-        """Combined slowdown multiplier in effect on ``core`` at ``t``."""
+        """Combined slowdown multiplier in effect on ``core`` at ``t``.
+
+        Windows are half-open like outages: the factor applies at
+        exactly ``start`` and no longer applies at exactly ``stop``.
+        Overlapping windows multiply.
+        """
         factor = 1.0
         for start, stop, scale in self._slow_by_core[core]:
             if start > t:

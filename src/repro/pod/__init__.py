@@ -1,0 +1,35 @@
+"""Pod-scale sharded serving: topology, link faults, slices, chaos.
+
+The pod layer composes the existing stacks one level up: a
+:class:`~repro.pod.topology.PodTopology` prices ICI routes and
+collectives, a :class:`~repro.pod.sharding.ShardedProgram` partitions a
+compiled workload across a slice (interconnect priced as lowered-IR
+rows, so the replay kernels apply), a
+:class:`~repro.pod.slicesim.SliceSimulator` serves through the shard
+graph on the shared simulated clock, and
+:func:`~repro.pod.sweep.pod_chaos_sweep` drives slices through
+link/slice fault scenarios under both cluster router policies.
+"""
+
+from repro.pod.faults import PodFaultModel
+from repro.pod.sharding import ICI_LEVEL, ShardedProgram, attach_ici_rows
+from repro.pod.slicesim import SliceSimulator
+from repro.pod.sweep import (DEFAULT_POD_SCENARIOS, PodChaosRow, PodScenario,
+                             pod_chaos_sweep)
+from repro.pod.topology import (DEFAULT_OCS_RECONFIG_S, PodTopology,
+                                slice_topology)
+
+__all__ = [
+    "DEFAULT_OCS_RECONFIG_S",
+    "DEFAULT_POD_SCENARIOS",
+    "ICI_LEVEL",
+    "PodChaosRow",
+    "PodFaultModel",
+    "PodScenario",
+    "PodTopology",
+    "ShardedProgram",
+    "SliceSimulator",
+    "attach_ici_rows",
+    "pod_chaos_sweep",
+    "slice_topology",
+]

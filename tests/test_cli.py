@@ -174,3 +174,32 @@ class TestClusterCommand:
     def test_cluster_rejects_bad_replicas(self, capsys):
         assert main(["cluster", "--replicas", "1"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestPodCommand:
+    def test_pod_runs_and_reports_columns(self, capsys):
+        assert main(["pod", "--seed", "3", "--duration", "0.1",
+                     "--apps", "cnn0"]) == 0
+        out = capsys.readouterr().out
+        for column in ("topology", "scenario", "policy", "avail %",
+                       "p99 ms", "ejected", "failover"):
+            assert column in out
+        for scenario in ("faultless", "kill-1-link", "kill-1-chip",
+                         "ocs-reconfig-race", "link-slowdown"):
+            assert scenario in out
+        assert "torus" in out and "ocs" in out
+
+    def test_pod_output_byte_identical_across_runs(self, capsys):
+        args = ["pod", "--seed", "3", "--duration", "0.1",
+                "--apps", "cnn0"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_pod_rejects_bad_arguments(self, capsys):
+        assert main(["pod", "--slices", "1"]) == 2
+        assert "error:" in capsys.readouterr().err
+        assert main(["pod", "--slice-chips", "1"]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -160,6 +160,44 @@ class TestScheduleGeneration:
         assert schedule.first_failure_between(0, 1.0, 1.4) is None
 
 
+class TestBoundaryContract:
+    """Pin the documented half-open/open semantics at exact timestamps.
+
+    Every interval is half-open ``[start, end)`` for the covering
+    queries and strictly open ``(a, b)`` for ``first_failure_between``.
+    These regressions exist because the pod layer compiles link
+    timelines through exactly these queries — an off-by-one at a window
+    edge would silently shift slice outages."""
+
+    def test_outage_covers_exact_start(self):
+        schedule = FaultSchedule(1, 10.0, down=[(0, 1.0, 2.0)])
+        assert schedule.outage_end(0, 1.0) == 2.0
+
+    def test_outage_excludes_exact_end(self):
+        schedule = FaultSchedule(1, 10.0, down=[(0, 1.0, 2.0)])
+        assert schedule.outage_end(0, 2.0) is None
+
+    def test_abutting_outages_chain_across_the_shared_instant(self):
+        # [1, 2) then [2, 3): the shared instant 2.0 belongs to the
+        # second interval only, so the core is down continuously.
+        schedule = FaultSchedule(1, 10.0, down=[(0, 1.0, 2.0), (0, 2.0, 3.0)])
+        assert schedule.outage_end(0, 2.0) == 3.0
+        assert schedule.outage_end(0, 1.999) == 2.0
+
+    def test_slowdown_covers_start_excludes_end(self):
+        schedule = FaultSchedule(1, 10.0,
+                                 slowdowns=[(0, 1.0, 2.0, 3.0)])
+        assert schedule.slowdown_factor(0, 1.0) == 3.0
+        assert schedule.slowdown_factor(0, 2.0) == 1.0
+
+    def test_first_failure_between_is_strictly_inside(self):
+        schedule = FaultSchedule(1, 10.0, down=[(0, 1.0, 2.0)])
+        # A failure at exactly ``a`` or exactly ``b`` is NOT between.
+        assert schedule.first_failure_between(0, 1.0, 5.0) is None
+        assert schedule.first_failure_between(0, 0.0, 1.0) is None
+        assert schedule.first_failure_between(0, 0.999, 1.001) == (1.0, 2.0)
+
+
 class TestZeroFaultIdentity:
     def test_zero_fault_model_bit_identical(self, v4i_simulator, traffic):
         baseline = v4i_simulator.simulate(traffic)

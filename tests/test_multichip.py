@@ -4,9 +4,22 @@ import pytest
 
 from repro.arch import TPUV1, TPUV4I
 from repro.core import PipelineDeployment, partition_module
+from repro.graph import GraphBuilder, Shape
 from repro.workloads import app_by_name
 
 from tests.conftest import make_tiny_mlp
+
+
+def make_single_op_module():
+    """One compute instruction (a lone matmul): the smallest
+    partitionable module."""
+    builder = GraphBuilder("single")
+    x = builder.parameter(Shape((4, 64)), "x")
+    w = builder.constant(Shape((64, 16)), "w")
+    out = builder.dot(x, w, "out")
+    module = builder.build()
+    module.set_root(out)
+    return module
 
 
 class TestPartition:
@@ -49,6 +62,34 @@ class TestPartition:
     def test_too_many_stages_rejected(self, tiny_mlp):
         with pytest.raises(ValueError):
             partition_module(tiny_mlp, 64)
+
+    def test_stages_beyond_layer_count_name_the_empty_stage(self, tiny_mlp):
+        """num_stages > layer count: the error says which stage is empty
+        rather than failing downstream with a shapeless module."""
+        with pytest.raises(ValueError, match="stage .* empty"):
+            partition_module(tiny_mlp, 64)
+
+    def test_single_op_module_partitions_only_to_one_stage(self):
+        """A module whose graph is a single compute layer: p=1 is the
+        identity, any p>1 must be a clean rejection."""
+        module = make_single_op_module()
+        stages, boundaries = partition_module(module, 1)
+        assert stages == [module]
+        assert boundaries == [0]
+        with pytest.raises(ValueError):
+            partition_module(module, 2)
+
+    def test_stage_assignment_deterministic(self):
+        """Same module, same p -> identical stage instruction lists and
+        boundary bytes, across repeated partitions of rebuilt modules."""
+        first = partition_module(app_by_name("bert0").build(2), 3)
+        second = partition_module(app_by_name("bert0").build(2), 3)
+        names_a = [[(inst.opcode, inst.name) for inst in stage.instructions]
+                   for stage in first[0]]
+        names_b = [[(inst.opcode, inst.name) for inst in stage.instructions]
+                   for stage in second[0]]
+        assert names_a == names_b
+        assert first[1] == second[1]
 
     def test_zero_stages_rejected(self, tiny_mlp):
         with pytest.raises(ValueError):
