@@ -110,3 +110,15 @@ def test_engine_benchmark(benchmark):
     assert result["speedup_fastserve_vs_event"] >= 5.0, (
         f"serving replay speedup "
         f"{result['speedup_fastserve_vs_event']}x < 5x")
+    # Generative serving: the continuous-batching sweep must reproduce
+    # itself exactly, decode must land memory-bound (operational
+    # intensity left of the ridge point) on every swept generation, and
+    # prefill/decode must price separately (phase-aware cache keys).
+    assert result["llm_determinism"], (
+        "same seed must yield identical generative-sweep rows")
+    assert result["llm_decode_memory_bound"], (
+        "decode phase must be memory-bound (ops/byte below the ridge) "
+        "on every swept chip generation")
+    assert result["llm_phase_split"], (
+        "prefill and decode must produce distinct priced latencies")
+    assert result["llm_tokens"] > 0

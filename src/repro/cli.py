@@ -11,6 +11,7 @@ Examples::
     python -m repro engine bench --workers 2 --output BENCH_engine.json
     python -m repro faults --seed 3 --core-mtbf 0.5 --repair 0.1
     python -m repro cluster --seed 3 --replicas 3 --duration 0.5
+    python -m repro llm --seed 3 --duration 0.5
     python -m repro trace resnet50 tpuv4i --out trace.json
     python -m repro metrics --app cnn0 --chip TPUv4i
 
@@ -289,6 +290,35 @@ def _cmd_pod(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_llm(args: argparse.Namespace) -> int:
+    from repro.serving import llm_sweep
+
+    models = tuple(args.models.split(",")) if args.models else ("llm0", "llm1")
+    rows = llm_sweep(seed=args.seed, models=models, duration_s=args.duration,
+                     slots=args.slots, utilization=args.utilization)
+    table = Table(
+        ["chip", "model", "slots", "offered qps", "reqs", "tokens", "tok/s",
+         "mean batch", "TTFT p99 ms", "tok p99 ms", "TTFT viol %",
+         "tok viol %", "decode ops:byte", "mem-bound"],
+        title=f"Generative serving sweep (continuous batching, "
+              f"{args.duration:.3g} s of traffic at "
+              f"{args.utilization:.0%} of decode capacity)")
+    for row in rows:
+        stats = row.stats
+        table.add_row([
+            row.chip, row.model, row.slots, row.offered_qps, stats.requests,
+            stats.tokens_generated, stats.tokens_per_s,
+            stats.mean_decode_batch, stats.ttft_p99_s * 1e3,
+            stats.per_token_p99_s * 1e3,
+            100.0 * stats.ttft_violation_fraction,
+            100.0 * stats.per_token_violation_fraction,
+            row.decode_ops_per_byte,
+            "yes" if row.decode_memory_bound else "NO",
+        ])
+    print(table.render())
+    return 0
+
+
 #: Friendly aliases for the observability commands, which are typed by
 #: hand far more often than scripted: the paper's model names map onto
 #: the zoo's internal ones.
@@ -512,6 +542,23 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("pipeline", "tensor"),
                      help="how each slice shards the model")
     pod.set_defaults(func=_cmd_pod)
+
+    llm = sub.add_parser(
+        "llm", help="generative serving sweep: continuous batching of "
+                    "autoregressive decode across chip generations")
+    llm.add_argument("--seed", type=int, default=0,
+                     help="traffic seed (default 0)")
+    llm.add_argument("--models", default=None,
+                     help="comma-separated generative models "
+                          "(default llm0,llm1)")
+    llm.add_argument("--slots", type=int, default=None,
+                     help="continuous-batching slots per core "
+                          "(default: each model's own)")
+    llm.add_argument("--duration", type=float, default=1.0,
+                     help="simulated traffic seconds per (chip, model)")
+    llm.add_argument("--utilization", type=float, default=0.6,
+                     help="offered load vs steady decode capacity")
+    llm.set_defaults(func=_cmd_llm)
 
     trace = sub.add_parser(
         "trace", help="deterministic Chrome trace of one app on one chip "

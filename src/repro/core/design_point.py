@@ -105,20 +105,25 @@ class DesignPoint:
     def _engine_cache(self) -> EvalCache:
         return self._cache if self._cache is not None else get_cache()
 
-    def _key(self, kind: str, workload: str, batch: int,
+    def _key(self, kind: str, spec: WorkloadSpec, batch: int,
              cmem_budget_bytes: Optional[int]) -> str:
-        return eval_key(kind, self._chip_fp, self._compiler_fp, workload,
-                        batch, cmem_budget_bytes, _EVAL_DTYPE)
+        # Phase-split workloads (repro.workloads.generative.PhaseSpec)
+        # carry a phase and KV bucket into the key; plain specs have
+        # neither attribute and produce the exact legacy key bytes.
+        return eval_key(kind, self._chip_fp, self._compiler_fp, spec.name,
+                        batch, cmem_budget_bytes, _EVAL_DTYPE,
+                        phase=getattr(spec, "phase", None),
+                        kv_bucket=getattr(spec, "kv_bucket", None))
 
     def result_key(self, spec: WorkloadSpec, batch: int,
                    cmem_budget_bytes: Optional[int] = None) -> str:
         """The EvalCache key a :meth:`run` result lives under."""
-        return self._key("sim", spec.name, batch, cmem_budget_bytes)
+        return self._key("sim", spec, batch, cmem_budget_bytes)
 
     def evaluation_key(self, spec: WorkloadSpec, batch: int,
                        cmem_budget_bytes: Optional[int] = None) -> str:
         """The EvalCache key an :meth:`evaluate` record lives under."""
-        return self._key("eval", spec.name, batch, cmem_budget_bytes)
+        return self._key("eval", spec, batch, cmem_budget_bytes)
 
     def cached_result(self, spec: WorkloadSpec, batch: int,
                       cmem_budget_bytes: Optional[int] = None
@@ -141,7 +146,7 @@ class DesignPoint:
         """Publish a simulation under the same keys :meth:`run` uses."""
         self._engine_cache().put(
             self.result_key(spec, batch, cmem_budget_bytes), result,
-            self._meta("sim", spec.name, batch, cmem_budget_bytes))
+            self._meta("sim", spec, batch, cmem_budget_bytes))
         self._results[(spec.name, batch, cmem_budget_bytes)] = result
 
     def cached_evaluation(self, spec: WorkloadSpec, batch: int,
@@ -165,13 +170,15 @@ class DesignPoint:
         """Publish an evaluation under the keys :meth:`evaluate` uses."""
         self._engine_cache().put(
             self.evaluation_key(spec, batch, cmem_budget_bytes), evaluation,
-            self._meta("eval", spec.name, batch, cmem_budget_bytes))
+            self._meta("eval", spec, batch, cmem_budget_bytes))
         self._evaluations[(spec.name, batch, cmem_budget_bytes)] = evaluation
 
-    def _meta(self, kind: str, workload: str, batch: int,
+    def _meta(self, kind: str, spec: WorkloadSpec, batch: int,
               cmem_budget_bytes: Optional[int]) -> dict:
-        return key_meta(kind, self.chip.name, self.version.name, workload,
-                        batch, cmem_budget_bytes, _EVAL_DTYPE)
+        return key_meta(kind, self.chip.name, self.version.name, spec.name,
+                        batch, cmem_budget_bytes, _EVAL_DTYPE,
+                        phase=getattr(spec, "phase", None),
+                        kv_bucket=getattr(spec, "kv_bucket", None))
 
     # ------------------------------------------------------------- compile/run
 
@@ -195,7 +202,7 @@ class DesignPoint:
         if key not in self._results:
             reg = metrics()
             engine = self._engine_cache()
-            ekey = self._key("sim", spec.name, batch, cmem_budget_bytes)
+            ekey = self._key("sim", spec, batch, cmem_budget_bytes)
             with reg.timer("tier.cache_lookup_s"):
                 cached = engine.get(ekey)
             if cached is None:
@@ -204,7 +211,7 @@ class DesignPoint:
                 with reg.timer("tier.sim_s"):
                     cached = self.sim.run(compiled.program)
                 engine.put(ekey, cached,
-                           self._meta("sim", spec.name, batch,
+                           self._meta("sim", spec, batch,
                                       cmem_budget_bytes))
             self._results[key] = cached
         return self._results[key]
@@ -224,13 +231,13 @@ class DesignPoint:
         if key in self._evaluations:
             return self._evaluations[key]
         engine = self._engine_cache()
-        ekey = self._key("eval", spec.name, b, cmem_budget_bytes)
+        ekey = self._key("eval", spec, b, cmem_budget_bytes)
         with metrics().timer("tier.cache_lookup_s"):
             cached = engine.get(ekey)
         if cached is None:
             cached = self._evaluate_uncached(spec, b, cmem_budget_bytes)
             engine.put(ekey, cached,
-                       self._meta("eval", spec.name, b, cmem_budget_bytes))
+                       self._meta("eval", spec, b, cmem_budget_bytes))
         self._evaluations[key] = cached
         return cached
 

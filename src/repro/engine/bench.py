@@ -91,6 +91,19 @@ An eleventh phase exercises the pod-scale sharding layer:
 * ``pod_kill1_link_availability`` — availability of the resilient
   policy with one ICI link of one slice killed outright.
 
+A twelfth phase exercises generative serving
+(:mod:`repro.serving.continuous`):
+
+* ``llm_sweep_s`` — one seeded continuous-batching sweep
+  (:func:`repro.serving.continuous.llm_sweep`) of both decoder models
+  on TPUv4i;
+* ``llm_determinism`` — the same sweep again must match row for row;
+* ``llm_decode_memory_bound`` — every row's decode phase must sit left
+  of its chip's ridge point (``ops_per_byte`` below the roofline knee);
+* ``llm_phase_split`` — prefill and decode must price separately: at
+  the same batch, their simulated latencies differ;
+* ``llm_tokens`` — total tokens generated across the sweep's rows.
+
 All sweep modes produce identical candidate lists and the fast sim is
 bit-identical to the interpreter (checked here and asserted in tests).
 The dict is written to ``BENCH_engine.json`` so speedups are tracked
@@ -498,6 +511,39 @@ def _bench_grid(apps: Sequence[str]) -> dict:
     }
 
 
+def _bench_llm() -> dict:
+    """Time the generative serving sweep; assert its three contracts.
+
+    Determinism (same seed, same rows, bit for bit), the roofline claim
+    (decode lands left of the ridge on every swept generation), and the
+    phase split (prefill and decode price differently at equal batch —
+    the cache keys carry the phase, so they cannot alias).
+    """
+    from repro.arch.chip import TPUV4I
+    from repro.core.design_point import shared_design_point
+    from repro.serving.continuous import llm_sweep
+    from repro.workloads.generative import generative_by_name
+
+    t0 = time.perf_counter()
+    first = llm_sweep(seed=5, chips=(TPUV4I,), duration_s=0.5)
+    llm_sweep_s = time.perf_counter() - t0
+    repeat = llm_sweep(seed=5, chips=(TPUV4I,), duration_s=0.5)
+
+    spec = generative_by_name("llm0")
+    point = shared_design_point(TPUV4I)
+    prefill_s = point.latency_s(spec.prefill(spec.prompt_buckets[0]), 1)
+    decode_s = point.latency_s(spec.decode(spec.kv_buckets[0]), 1)
+    return {
+        "llm_sweep_s": round(llm_sweep_s, 4),
+        "llm_rows": len(first),
+        "llm_determinism": first == repeat,
+        "llm_decode_memory_bound": all(
+            row.decode_memory_bound for row in first),
+        "llm_phase_split": prefill_s != decode_s,
+        "llm_tokens": sum(row.stats.tokens_generated for row in first),
+    }
+
+
 def run_engine_benchmark(workers: Optional[int] = None,
                          app_names: Optional[Sequence[str]] = None,
                          ) -> dict:
@@ -586,6 +632,10 @@ def run_engine_benchmark(workers: Optional[int] = None,
         clear_shared_design_points()
         fastserve_record = _bench_fastserve(apps)
 
+        # Generative serving: continuous-batching sweep + roofline claim.
+        clear_shared_design_points()
+        llm_record = _bench_llm()
+
         deterministic = (serial_legacy == engine_serial == parallel == warm)
         stats = cache.stats
         record = {
@@ -612,6 +662,7 @@ def run_engine_benchmark(workers: Optional[int] = None,
             **pod_record,
             **grid_record,
             **fastserve_record,
+            **llm_record,
             "cache": {
                 "entries": cache.entry_count(),
                 "bytes": cache.size_bytes(),
@@ -691,6 +742,11 @@ def render_benchmark(record: dict) -> str:
         f"{record['serve_fast_s']:.3f} s "
         f"({record['speedup_fastserve_vs_event']:.2f}x, identical: "
         f"{record['fastserve_identical']})",
+        f"  generative serving ({record['llm_rows']} rows, "
+        f"{record['llm_tokens']:,} tokens): {record['llm_sweep_s']:.3f} s, "
+        f"deterministic: {record['llm_determinism']}, decode memory-bound: "
+        f"{record['llm_decode_memory_bound']}, phases priced separately: "
+        f"{record['llm_phase_split']}",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

@@ -11,7 +11,10 @@ inputs that determine an evaluation:
 * the compiler release (name and feature set);
 * the workload name and batch size;
 * the CMEM budget override, if any;
-* the arithmetic dtype.
+* the arithmetic dtype;
+* for generative workloads only: the phase (prefill/decode) and the
+  decode KV-length bucket — omitted entirely for classic workloads, so
+  pre-generative keys (and on-disk entries) are byte-for-byte unchanged.
 
 Two processes — or two runs a week apart — that evaluate the same
 (chip, compiler, workload, batch, budget, dtype) tuple therefore compute
@@ -65,7 +68,8 @@ def compiler_fingerprint(version: Any) -> str:
 
 def eval_key(kind: str, chip_fp: str, compiler_fp: str, workload: str,
              batch: int, cmem_budget_bytes: int | None = None,
-             dtype: str = "bf16") -> str:
+             dtype: str = "bf16", *, phase: str | None = None,
+             kv_bucket: int | None = None) -> str:
     """The cache key for one evaluation record.
 
     ``kind`` separates payload types sharing the same inputs
@@ -73,6 +77,12 @@ def eval_key(kind: str, chip_fp: str, compiler_fp: str, workload: str,
     :class:`Evaluation`); ``chip_fp``/``compiler_fp`` are precomputed
     :func:`chip_fingerprint`/:func:`compiler_fingerprint` digests so hot
     paths hash the (small) outer payload only.
+
+    ``phase``/``kv_bucket`` identify one phase of a generative workload
+    (prefill vs decode, and the decode step's KV-length bucket). They
+    enter the payload *only when set*: a ``None`` phase produces exactly
+    the pre-generative key bytes, so every legacy entry — including
+    on-disk tiers written before phases existed — stays reachable.
     """
     payload = {
         "schema": SCHEMA_VERSION,
@@ -84,15 +94,20 @@ def eval_key(kind: str, chip_fp: str, compiler_fp: str, workload: str,
         "cmem_budget_bytes": cmem_budget_bytes,
         "dtype": dtype,
     }
+    if phase is not None:
+        payload["phase"] = phase
+    if kv_bucket is not None:
+        payload["kv_bucket"] = kv_bucket
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def key_meta(kind: str, chip_name: str, compiler_name: str, workload: str,
              batch: int, cmem_budget_bytes: int | None,
-             dtype: str) -> dict[str, Any]:
+             dtype: str, *, phase: str | None = None,
+             kv_bucket: int | None = None) -> dict[str, Any]:
     """Human-readable sidecar metadata stored next to disk entries."""
-    return {
+    meta = {
         "schema": SCHEMA_VERSION,
         "kind": kind,
         "chip": chip_name,
@@ -102,3 +117,8 @@ def key_meta(kind: str, chip_name: str, compiler_name: str, workload: str,
         "cmem_budget_bytes": cmem_budget_bytes,
         "dtype": dtype,
     }
+    if phase is not None:
+        meta["phase"] = phase
+    if kv_bucket is not None:
+        meta["kv_bucket"] = kv_bucket
+    return meta

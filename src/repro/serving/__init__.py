@@ -20,6 +20,12 @@ behind a health-checked router (admission control, hedging, graceful
 degradation) and sizes N+k by *simulated* availability instead of rule
 of thumb; a one-replica passthrough cluster is bit-identical to a plain
 ``ServingSimulator`` run.
+
+Generative models get their own loop: :mod:`repro.serving.continuous`
+admits decode *iterations* (not whole requests) into per-core slots —
+continuous batching — with the SLO split into TTFT and per-token
+budgets, driven by the prefill/decode phase programs in
+:mod:`repro.workloads.generative`.
 """
 
 from repro.serving.slo import Slo, percentile, percentile_sorted
@@ -38,7 +44,16 @@ from repro.serving.multitenancy import (
     Tenant,
     MultiTenantSim,
     MultiTenantStats,
+    TenantWindowStats,
     partition_cmem,
+)
+from repro.serving.continuous import (
+    ContinuousBatchingSimulator,
+    ContinuousStats,
+    GenerativeSlo,
+    LlmSweepRow,
+    llm_sweep,
+    phase_latency_table,
 )
 
 __all__ = [
@@ -60,5 +75,12 @@ __all__ = [
     "Tenant",
     "MultiTenantSim",
     "MultiTenantStats",
+    "TenantWindowStats",
     "partition_cmem",
+    "ContinuousBatchingSimulator",
+    "ContinuousStats",
+    "GenerativeSlo",
+    "LlmSweepRow",
+    "llm_sweep",
+    "phase_latency_table",
 ]

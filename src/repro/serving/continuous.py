@@ -1,0 +1,551 @@
+"""Continuous batching for autoregressive decode (slot-based admission).
+
+Classic serving admits whole requests into batches; generative serving
+cannot — a request is alive for one prefill plus up to ``max_decode_len``
+decode *iterations*, and tying a batch's lifetime to its slowest member
+would idle every slot. This simulator therefore admits decode
+iterations, vLLM-style:
+
+* each core runs an independent engine with ``slots`` request slots
+  (requests are assigned to cores round-robin, so multi-core chips keep
+  the deterministic, replayable structure of the PR 3 event loop);
+* an admitted request is first *prefilled* alone (one prompt-bucket
+  program at batch 1 — prefill produces the first token, so TTFT is the
+  prefill completion minus arrival);
+* every engine step after that decodes *all* prefilled slots together:
+  one decode program at the padded active count, against the KV bucket
+  covering the deepest sequence in flight. Requests join and retire
+  between iterations without draining the batch;
+* prefills are prioritized over decode steps (admit-heavy, the
+  continuous-batching scheduling choice that bounds TTFT).
+
+Faults reuse the PR 3 machinery unchanged: a seeded
+:class:`~repro.faults.model.FaultModel` (or a hand-built schedule)
+injects outages, slowdowns, and mid-step kills. KV caches are
+core-resident state, so a core dying mid-step destroys the *generated
+prefix of every active request on that core*; survivors re-enqueue with
+their original arrival times under the model's retry budget and
+timeout, and re-prefill from scratch when re-admitted.
+
+This event loop IS the reference path: there is no vectorized twin (the
+``REPRO_FASTSERVE`` toggle does not apply here), and the byte-identity
+contract is run-to-run determinism — asserted in the engine bench and
+CI by diffing two ``repro llm`` runs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.design_point import DesignPoint
+from repro.serving.batching import BatchPolicy
+from repro.serving.server import (
+    DEFAULT_RETRY_BUDGET,
+    DEFAULT_RETRY_TIMEOUT_S,
+)
+from repro.serving.slo import percentile_sorted
+from repro.workloads.generative import GenerativeSpec, GenRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.model import FaultModel, FaultSchedule
+
+
+@dataclass(frozen=True)
+class GenerativeSlo:
+    """The generative latency contract: TTFT plus a per-token budget.
+
+    One number cannot describe an autoregressive request — a fast first
+    token with slow streaming and a slow first token with fast streaming
+    are different failures. Violations are tracked separately against
+    each budget at the same percentile.
+    """
+
+    ttft_s: float
+    per_token_s: float
+    pct: float = 99.0
+
+    def __post_init__(self) -> None:
+        if self.ttft_s <= 0 or self.per_token_s <= 0:
+            raise ValueError("SLO budgets must be positive")
+        if not 0 < self.pct <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+
+
+@dataclass(frozen=True)
+class ContinuousStats:
+    """Outcome of one continuous-batching simulation.
+
+    Request conservation is a constructor invariant, exactly as in
+    :class:`~repro.serving.server.ServingStats`: ``requests == served +
+    dropped`` (continuous engines sit below any admission control, so
+    there is no shed bucket). ``served_requests`` defaults to "derive
+    it" for hand-built instances; the simulator always passes its actual
+    retirement count.
+    """
+
+    workload: str
+    chip: str
+    requests: int
+    duration_s: float
+    ttft_p50_s: float
+    ttft_p99_s: float
+    per_token_p50_s: float
+    per_token_p99_s: float
+    tokens_generated: int
+    prefill_steps: int
+    decode_steps: int
+    mean_decode_batch: float
+    tokens_per_s: float
+    ttft_violation_fraction: float
+    per_token_violation_fraction: float
+    availability: float = 1.0
+    retried_requests: int = 0
+    dropped_requests: int = 0
+    lost_steps: int = 0
+    served_requests: int = -1
+
+    def __post_init__(self) -> None:
+        if self.served_requests < 0:
+            object.__setattr__(self, "served_requests",
+                               self.requests - self.dropped_requests)
+        if self.served_requests + self.dropped_requests != self.requests:
+            raise ValueError(
+                f"request conservation violated: {self.requests} arrived != "
+                f"{self.served_requests} served + {self.dropped_requests} "
+                f"dropped")
+
+    def describe(self) -> str:
+        base = (f"{self.workload} on {self.chip}: {self.requests} reqs, "
+                f"{self.tokens_generated} tokens, TTFT p99 "
+                f"{self.ttft_p99_s * 1e3:.2f} ms, per-token p99 "
+                f"{self.per_token_p99_s * 1e3:.2f} ms, "
+                f"{self.tokens_per_s:.0f} tok/s, mean decode batch "
+                f"{self.mean_decode_batch:.1f}")
+        if self.retried_requests or self.dropped_requests or self.lost_steps:
+            base += (f", {self.availability:.2%} available "
+                     f"({self.retried_requests} retries, "
+                     f"{self.dropped_requests} dropped, "
+                     f"{self.lost_steps} steps lost)")
+        return base
+
+
+class _Slot:
+    """One admitted request's engine-side state (mutable, loop-internal)."""
+
+    __slots__ = ("request", "retries", "produced", "target", "prefill_t")
+
+    def __init__(self, request: GenRequest, retries: int, target: int) -> None:
+        self.request = request
+        self.retries = retries
+        self.produced = 0          # tokens generated so far
+        self.target = target       # decode_len capped at max_decode_len
+        self.prefill_t = None      # completion time of the prefill, or None
+
+
+class _Accumulator:
+    """Cross-core tallies folded into ContinuousStats at the end."""
+
+    __slots__ = ("ttft", "per_token", "served", "dropped", "retried",
+                 "tokens", "prefills", "decode_steps", "decode_batch_sum",
+                 "lost_steps", "last_completion")
+
+    def __init__(self) -> None:
+        self.ttft: List[float] = []
+        self.per_token: List[float] = []
+        self.served = 0
+        self.dropped = 0
+        self.retried = 0
+        self.tokens = 0
+        self.prefills = 0
+        self.decode_steps = 0
+        self.decode_batch_sum = 0
+        self.lost_steps = 0
+        self.last_completion = 0.0
+
+
+class ContinuousBatchingSimulator:
+    """Slot-based continuous batching of one generative model on one chip."""
+
+    def __init__(self, point: DesignPoint, spec: GenerativeSpec,
+                 slots: Optional[int] = None,
+                 slo: Optional[GenerativeSlo] = None,
+                 max_decode_len: Optional[int] = None) -> None:
+        self.point = point
+        self.spec = spec
+        self.slots = slots if slots is not None else spec.default_slots
+        if self.slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.slo = slo if slo is not None else GenerativeSlo(
+            spec.slo_ttft_ms / 1e3, spec.slo_per_token_ms / 1e3)
+        self.max_decode_len = (max_decode_len if max_decode_len is not None
+                               else spec.max_decode_len)
+        if self.max_decode_len < 1:
+            raise ValueError("max_decode_len must be >= 1")
+        # Decode batches pad to the same power-of-two ladder the classic
+        # batcher compiles for; the policy also rejects padded_size(0),
+        # so an empty decode step can never be priced.
+        self._policy = BatchPolicy(max_batch=self.slots, max_wait_s=0.0)
+        self._latency: dict[Tuple[str, int, int], float] = {}
+
+    # ------------------------------------------------------------- latencies
+
+    def step_latency_s(self, phase: str, bucket: int, batch: int) -> float:
+        """Compute latency of one engine step (memoized).
+
+        Keyed by (phase, sequence bucket, padded batch); lookups route
+        through the design point and therefore the engine EvalCache,
+        whose keys carry the phase and KV bucket explicitly.
+        """
+        padded = self._policy.padded_size(batch)
+        key = (phase, bucket, padded)
+        if key not in self._latency:
+            spec = (self.spec.prefill(bucket) if phase == "prefill"
+                    else self.spec.decode(bucket))
+            self._latency[key] = self.point.latency_s(spec, padded)
+        return self._latency[key]
+
+    def seed_latencies(
+            self, table: Mapping[Tuple[str, int, int], float]) -> None:
+        """Pre-seed the (phase, bucket, padded batch) -> latency memo.
+
+        For latencies obtained outside the design point's default path —
+        an int8-retargeted compile on a chip without bf16 (TPUv1), or a
+        synthetic table in tests.
+        """
+        for (phase, _bucket, batch), latency in table.items():
+            if phase not in ("prefill", "decode"):
+                raise ValueError(f"unknown phase {phase!r}")
+            if batch < 1:
+                raise ValueError("batch must be >= 1")
+            if latency < 0:
+                raise ValueError("latency must be non-negative")
+        self._latency.update(table)
+
+    # -------------------------------------------------------------- simulate
+
+    def simulate(self, requests: Sequence[GenRequest],
+                 faults: Optional["FaultModel"] = None,
+                 schedule: Optional["FaultSchedule"] = None
+                 ) -> ContinuousStats:
+        """Run the continuous-batching engines over a sorted request stream.
+
+        Unlike the classic simulator, an empty stream is a valid quiet
+        window (continuous engines idle between bursts), returning
+        all-zero stats rather than raising.
+        """
+        arrivals = [r.arrival_s for r in requests]
+        if arrivals != sorted(arrivals):
+            raise ValueError("requests must be sorted by arrival time")
+
+        cores = self.point.chip.cores
+        if faults is not None:
+            retry_budget = faults.retry_budget
+            retry_timeout = faults.retry_timeout_s
+            if schedule is None and not faults.zero_fault and requests:
+                schedule = faults.schedule(
+                    cores, arrivals[-1] + faults.horizon_pad_s)
+        else:
+            retry_budget = DEFAULT_RETRY_BUDGET
+            retry_timeout = DEFAULT_RETRY_TIMEOUT_S
+        if schedule is not None and schedule.cores != cores:
+            raise ValueError(
+                f"schedule built for {schedule.cores} cores, chip has {cores}")
+        if schedule is not None and schedule.is_empty:
+            schedule = None
+
+        acc = _Accumulator()
+        for core in range(cores):
+            substream = [r for i, r in enumerate(requests) if i % cores == core]
+            if substream:
+                self._run_core(core, substream, schedule, retry_budget,
+                               retry_timeout, acc)
+        return self._finalize(requests, acc)
+
+    def _run_core(self, core: int, requests: Sequence[GenRequest],
+                  schedule: Optional["FaultSchedule"], retry_budget: int,
+                  retry_timeout: float, acc: _Accumulator) -> None:
+        """One core's engine loop over its round-robin substream."""
+        pending = deque((r, 0) for r in requests)  # (request, retries)
+        active: List[_Slot] = []
+        now = 0.0
+
+        while pending or active:
+            if not active and pending:
+                now = max(now, pending[0][0].arrival_s)
+
+            if schedule is not None:
+                down_until = schedule.outage_end(core, now)
+                if down_until is not None:
+                    if math.isinf(down_until):
+                        # Core is gone for good: everything it owns —
+                        # active prefixes and its whole substream — is
+                        # lost (round-robin placement is static).
+                        acc.dropped += len(active) + len(pending)
+                        return
+                    now = down_until
+
+            # Admission: arrived requests claim free slots FIFO. A
+            # retried request whose re-admission would already exceed
+            # the retry timeout is dropped here, never served late.
+            while (pending and len(active) < self.slots
+                   and pending[0][0].arrival_s <= now):
+                request, retries = pending.popleft()
+                if retries > 0 and now - request.arrival_s > retry_timeout:
+                    acc.dropped += 1
+                    continue
+                active.append(_Slot(request, retries,
+                                    min(request.decode_len,
+                                        self.max_decode_len)))
+            if not active:
+                continue  # timed-out retries only; re-check arrivals
+
+            # Step selection: oldest un-prefilled slot first, else one
+            # decode iteration over every prefilled slot.
+            waiting_prefill = [s for s in active if s.prefill_t is None]
+            if waiting_prefill:
+                members = [waiting_prefill[0]]
+                phase = "prefill"
+                bucket = self.spec.prompt_bucket(members[0].request.prompt_len)
+            else:
+                members = active
+                phase = "decode"
+                deepest = max(s.request.prompt_len + s.produced
+                              for s in members)
+                bucket = self.spec.kv_bucket(deepest)
+            latency = self.step_latency_s(phase, bucket, len(members))
+            if schedule is not None:
+                latency *= schedule.slowdown_factor(core, now)
+            completion = now + latency
+
+            if schedule is not None:
+                failure = schedule.first_failure_between(core, now, completion)
+                if failure is not None:
+                    # The core died mid-step. KV caches are core-resident,
+                    # so EVERY active request loses its generated prefix,
+                    # not just the step's members; survivors re-enqueue
+                    # (front, original arrivals) and re-prefill later.
+                    fail_start, fail_end = failure
+                    acc.lost_steps += 1
+                    if math.isinf(fail_end):
+                        # The core never comes back: its prefixes and
+                        # its whole static substream are gone.
+                        acc.dropped += len(active) + len(pending)
+                        return
+                    survivors: List[Tuple[GenRequest, int]] = []
+                    for slot in active:
+                        if (slot.retries + 1 > retry_budget
+                                or fail_start - slot.request.arrival_s
+                                > retry_timeout):
+                            acc.dropped += 1
+                        else:
+                            acc.retried += 1
+                            survivors.append((slot.request, slot.retries + 1))
+                    pending.extendleft(reversed(survivors))
+                    active = []
+                    now = fail_end
+                    continue
+
+            # Commit the step.
+            now = completion
+            if phase == "prefill":
+                slot = members[0]
+                slot.prefill_t = completion
+                slot.produced = 1
+                acc.prefills += 1
+            else:
+                acc.decode_steps += 1
+                acc.decode_batch_sum += len(members)
+                for slot in members:
+                    slot.produced += 1
+
+            retiring = [s for s in active if s.produced >= s.target]
+            if retiring:
+                active = [s for s in active if s.produced < s.target]
+                for slot in retiring:
+                    acc.served += 1
+                    acc.tokens += slot.target
+                    acc.ttft.append(slot.prefill_t - slot.request.arrival_s)
+                    if slot.target > 1:
+                        acc.per_token.append(
+                            (completion - slot.prefill_t)
+                            / (slot.target - 1))
+            acc.last_completion = max(acc.last_completion, completion)
+
+    def _finalize(self, requests: Sequence[GenRequest],
+                  acc: _Accumulator) -> ContinuousStats:
+        total = len(requests)
+        duration = (max(acc.last_completion, requests[-1].arrival_s)
+                    - requests[0].arrival_s) if requests else 0.0
+        ttft = sorted(acc.ttft)
+        per_token = sorted(acc.per_token)
+
+        def _violations(ordered: List[float], limit: float) -> float:
+            if not ordered:
+                return 0.0
+            return sum(1 for v in ordered if v > limit) / len(ordered)
+
+        return ContinuousStats(
+            workload=self.spec.name,
+            chip=self.point.chip.name,
+            requests=total,
+            duration_s=duration,
+            ttft_p50_s=percentile_sorted(ttft, 50) if ttft else 0.0,
+            ttft_p99_s=percentile_sorted(ttft, self.slo.pct) if ttft else 0.0,
+            per_token_p50_s=(percentile_sorted(per_token, 50)
+                             if per_token else 0.0),
+            per_token_p99_s=(percentile_sorted(per_token, self.slo.pct)
+                             if per_token else 0.0),
+            tokens_generated=acc.tokens,
+            prefill_steps=acc.prefills,
+            decode_steps=acc.decode_steps,
+            mean_decode_batch=(acc.decode_batch_sum / acc.decode_steps
+                               if acc.decode_steps else 0.0),
+            tokens_per_s=acc.tokens / duration if duration > 0 else 0.0,
+            ttft_violation_fraction=_violations(ttft, self.slo.ttft_s),
+            per_token_violation_fraction=_violations(
+                per_token, self.slo.per_token_s),
+            availability=acc.served / total if total else 1.0,
+            retried_requests=acc.retried,
+            dropped_requests=acc.dropped,
+            lost_steps=acc.lost_steps,
+            served_requests=acc.served,
+        )
+
+
+# ----------------------------------------------------------------- sweeps
+
+def phase_latency_table(point: DesignPoint, spec: GenerativeSpec,
+                        slots: int, *, dtype: Optional[str] = None
+                        ) -> dict[Tuple[str, int, int], float]:
+    """(phase, bucket, padded batch) -> latency for one (chip, model).
+
+    The generative analogue of :func:`repro.faults.sweep.latency_table`:
+    bf16 chips price every phase program through one batched grid-kernel
+    pass (results land in the EvalCache under the same phase-aware keys
+    ``latency_s`` uses); chips without bf16 (TPUv1) go through an
+    int8-retargeted compile with explicit phase/kv-bucket cache keys, so
+    the sweep covers all four generations.
+    """
+    entries: List[Tuple[str, int, int]] = []
+    for bucket in spec.prompt_buckets:
+        entries.append(("prefill", bucket, 1))
+    for bucket in spec.kv_buckets:
+        for step in BatchPolicy.batch_steps(slots):
+            entries.append(("decode", bucket, step))
+
+    chip = point.chip
+    if dtype is None:
+        dtype = "bf16" if chip.supports_dtype("bf16") else "int8"
+    phase_specs = {("prefill", b): spec.prefill(b) for b in spec.prompt_buckets}
+    phase_specs.update(
+        {("decode", b): spec.decode(b) for b in spec.kv_buckets})
+
+    if dtype == "bf16":
+        from repro.engine.grid import GridJob, run_grid
+        results = run_grid([
+            GridJob(point, phase_specs[(phase, bucket)], batch)
+            for phase, bucket, batch in entries])
+        return {entry: r.seconds for entry, r in zip(entries, results)}
+
+    from repro.compiler.pipeline import compile_model, retarget_dtype
+    from repro.engine.cache import get_cache
+    from repro.engine.keys import eval_key, key_meta
+    cache = get_cache()
+    table: dict[Tuple[str, int, int], float] = {}
+    for phase, bucket, batch in entries:
+        pspec = phase_specs[(phase, bucket)]
+        key = eval_key("sim", point.chip_fp, point.compiler_fp, pspec.name,
+                       batch, None, dtype, phase=phase, kv_bucket=bucket)
+        result = cache.get(key)
+        if result is None:
+            module = retarget_dtype(pspec.build(batch), dtype)
+            program = compile_model(module, chip,
+                                    version=point.version).program
+            result = point.sim.run(program, dtype=dtype)
+            cache.put(key, result,
+                      key_meta("sim", chip.name, point.version.name,
+                               pspec.name, batch, None, dtype,
+                               phase=phase, kv_bucket=bucket))
+        table[(phase, bucket, batch)] = result.seconds
+    return table
+
+
+@dataclass(frozen=True)
+class LlmSweepRow:
+    """One (chip, model) outcome of the generative serving sweep."""
+
+    chip: str
+    model: str
+    slots: int
+    offered_qps: float
+    decode_ops_per_byte: float
+    decode_memory_bound: bool
+    stats: ContinuousStats
+
+
+def llm_sweep(seed: int = 0, *,
+              models: Sequence[str] = ("llm0", "llm1"),
+              chips: Optional[Sequence] = None,
+              duration_s: float = 2.0,
+              slots: Optional[int] = None,
+              utilization: float = 0.6) -> List[LlmSweepRow]:
+    """Continuous-batching serving sweep across chips and decoder models.
+
+    One row per (chip, model): seeded traffic (arrivals + per-request
+    prompt/decode lengths) at ``utilization`` of the engine's steady
+    decode token throughput, simulated under continuous batching. The
+    whole sweep is a pure function of its arguments — same seed, same
+    rows, byte for byte (asserted in the engine bench and CI).
+    """
+    from repro.arch import GENERATIONS
+    from repro.core.design_point import shared_design_point
+    from repro.workloads.generative import generative_by_name, \
+        sample_gen_requests
+
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if not 0 < utilization <= 1:
+        raise ValueError("utilization must be in (0, 1]")
+    chip_list = tuple(chips) if chips is not None else GENERATIONS
+
+    rows: List[LlmSweepRow] = []
+    for pair_index, (chip, model) in enumerate(
+            (c, m) for c in chip_list for m in models):
+        spec = generative_by_name(model)
+        point = shared_design_point(chip)
+        n_slots = slots if slots is not None else spec.default_slots
+        table = phase_latency_table(point, spec, n_slots)
+
+        simulator = ContinuousBatchingSimulator(point, spec, slots=n_slots)
+        simulator.seed_latencies(table)
+
+        # Steady-state capacity: a full decode batch advances n_slots
+        # sequences one token per step, and a request needs one prefill
+        # plus ~mean_decode steps of its slot. Offered load derives from
+        # the seeded table, so the sweep stays a pure function of its
+        # arguments across runs.
+        policy = BatchPolicy(max_batch=n_slots, max_wait_s=0.0)
+        decode_s = table[("decode", spec.kv_buckets[0],
+                          policy.padded_size(n_slots))]
+        prefill_s = table[("prefill", spec.prompt_buckets[0], 1)]
+        service_s = spec.mean_decode * decode_s + prefill_s
+        capacity_qps = point.chip.cores * n_slots / service_s
+        rate_qps = utilization * capacity_qps
+
+        requests = sample_gen_requests(
+            spec, seed * 7919 + pair_index, rate_qps, duration_s)
+        if not requests:
+            continue  # degenerate rate/duration; nothing to serve
+        stats = simulator.simulate(requests)
+
+        decode_spec = spec.decode(spec.kv_buckets[0])
+        oi = decode_spec.ops_per_byte(policy.padded_size(n_slots))
+        rows.append(LlmSweepRow(
+            chip=chip.name, model=spec.name, slots=n_slots,
+            offered_qps=rate_qps, decode_ops_per_byte=oi,
+            decode_memory_bound=oi < chip.ridge_ops_per_byte(),
+            stats=stats))
+    return rows

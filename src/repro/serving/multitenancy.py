@@ -23,8 +23,8 @@ why TPUv4i carries 8 GiB of HBM and 128 MiB of CMEM for inference.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.design_point import DesignPoint
 from repro.serving.slo import percentile
@@ -54,6 +54,33 @@ class Tenant:
 
 
 @dataclass(frozen=True)
+class TenantWindowStats:
+    """One tenant's share of a simulation window.
+
+    A registered tenant can receive zero requests in a window (canary
+    models between experiments are mostly idle), so every ratio here is
+    guarded: an idle tenant reports 0.0 latencies, never a
+    ZeroDivisionError.
+    """
+
+    tenant: str
+    requests: int
+    p99_s: float
+    mean_latency_s: float
+
+    @classmethod
+    def from_latencies(cls, tenant: str,
+                       latencies: Sequence[float]) -> "TenantWindowStats":
+        return cls(
+            tenant=tenant,
+            requests=len(latencies),
+            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            mean_latency_s=(sum(latencies) / len(latencies)
+                            if latencies else 0.0),
+        )
+
+
+@dataclass(frozen=True)
 class MultiTenantStats:
     """Outcome of one multi-tenant simulation."""
 
@@ -65,6 +92,7 @@ class MultiTenantStats:
     throughput_qps: float
     swap_count: int
     swap_seconds_total: float
+    per_tenant: Tuple[TenantWindowStats, ...] = field(default=())
 
     def describe(self) -> str:
         return (f"{self.policy}/{self.tenants} tenants: p99 "
@@ -145,6 +173,8 @@ class MultiTenantSim:
             raise ValueError("cannot simulate an empty request stream")
         service = self._latencies(policy)
         latencies: List[float] = []
+        by_tenant: Dict[str, List[float]] = {
+            t.spec.name: [] for t in self.tenants}
         server_free = 0.0
         resident: str = ""
         swap_count = 0
@@ -165,15 +195,23 @@ class MultiTenantSim:
             completion = start + service[request.tenant]
             server_free = completion
             latencies.append(completion - request.arrival_s)
+            by_tenant[request.tenant].append(completion - request.arrival_s)
 
+        # Both aggregate ratios are guarded exactly like the per-tenant
+        # ones: a window can legitimately close with zero completions.
         duration = server_free - requests[0].arrival_s
         return MultiTenantStats(
             policy=policy,
             tenants=len(self.tenants),
             requests=len(requests),
-            p99_s=percentile(latencies, 99),
-            mean_latency_s=sum(latencies) / len(latencies),
+            p99_s=percentile(latencies, 99) if latencies else 0.0,
+            mean_latency_s=(sum(latencies) / len(latencies)
+                            if latencies else 0.0),
             throughput_qps=len(requests) / duration if duration > 0 else 0.0,
             swap_count=swap_count,
             swap_seconds_total=swap_total,
+            per_tenant=tuple(
+                TenantWindowStats.from_latencies(t.spec.name,
+                                                 by_tenant[t.spec.name])
+                for t in self.tenants),
         )

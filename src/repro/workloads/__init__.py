@@ -30,6 +30,16 @@ from repro.workloads.mlperf import MLPERF_MODELS, mlperf_by_name
 from repro.workloads.growth import GrowthModel, PUBLISHED_MODEL_SIZES
 from repro.workloads.evolution import WORKLOAD_MIX_BY_YEAR, mix_for_year
 from repro.workloads.generator import RequestGenerator, Request
+from repro.workloads.generative import (
+    GENERATIVE_APPS,
+    GenRequest,
+    GenerativeSpec,
+    PhaseSpec,
+    build_decode,
+    build_prefill,
+    generative_by_name,
+    sample_gen_requests,
+)
 
 __all__ = [
     "WorkloadSpec",
@@ -53,4 +63,12 @@ __all__ = [
     "mix_for_year",
     "RequestGenerator",
     "Request",
+    "GENERATIVE_APPS",
+    "GenRequest",
+    "GenerativeSpec",
+    "PhaseSpec",
+    "build_decode",
+    "build_prefill",
+    "generative_by_name",
+    "sample_gen_requests",
 ]

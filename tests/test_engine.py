@@ -167,6 +167,25 @@ class TestKeys:
         assert base != eval_key("sim", chip_fp, comp_fp, "cnn0", 4,
                                 None, "bf16")
 
+    def test_eval_key_phase_and_kv_bucket(self):
+        """Phase/kv-bucket enter the key only when set (legacy bytes)."""
+        chip_fp = chip_fingerprint(TPUV4I)
+        comp_fp = compiler_fingerprint(RELEASES[-1])
+        base = eval_key("sim", chip_fp, comp_fp, "llm0.decode@256", 4,
+                        None, "bf16")
+        # Explicit None must reproduce the legacy key exactly.
+        assert base == eval_key("sim", chip_fp, comp_fp, "llm0.decode@256",
+                                4, None, "bf16", phase=None, kv_bucket=None)
+        phased = eval_key("sim", chip_fp, comp_fp, "llm0.decode@256", 4,
+                          None, "bf16", phase="decode", kv_bucket=256)
+        assert phased != base
+        assert phased != eval_key("sim", chip_fp, comp_fp, "llm0.decode@256",
+                                  4, None, "bf16", phase="prefill",
+                                  kv_bucket=256)
+        assert phased != eval_key("sim", chip_fp, comp_fp, "llm0.decode@256",
+                                  4, None, "bf16", phase="decode",
+                                  kv_bucket=512)
+
 
 def _square(x: int) -> int:
     return x * x

@@ -76,6 +76,26 @@ class TestBatchPolicy:
         with pytest.raises(ValueError):
             BatchPolicy(1, -0.1)
 
+    def test_padded_size_rejects_empty_batch(self):
+        """Locked contract: an empty batch must never be priced.
+
+        ``padded_size(0)`` silently returning a compiled step would
+        charge a full batch launch for zero requests; the contract is to
+        raise, and callers must guard before pricing.
+        """
+        policy = BatchPolicy(max_batch=16, max_wait_s=0.001)
+        with pytest.raises(ValueError, match="batch must be >= 1"):
+            policy.padded_size(0)
+        with pytest.raises(ValueError, match="batch must be >= 1"):
+            policy.padded_size(-3)
+
+    def test_padded_size_never_zero(self):
+        """Every valid actual size pads to a positive compiled step."""
+        for max_batch in (1, 3, 16, 500):
+            policy = BatchPolicy(max_batch=max_batch, max_wait_s=0.0)
+            for actual in range(1, max_batch + 5):
+                assert policy.padded_size(actual) >= 1
+
 
 @pytest.fixture(scope="module")
 def cnn_server(v4i_point_module):
@@ -293,3 +313,37 @@ class TestMultiTenancy:
         stats = sim.simulate([Request(0.0, "cnn0")], "resident")
         assert stats.throughput_qps == 0.0
         assert math.isfinite(stats.throughput_qps)
+
+    def test_idle_tenant_reports_zero_not_crash(self, v4i_point_module):
+        """Regression: a registered tenant with zero requests in the
+        window used to be unrepresentable; its ratios must be 0.0, not a
+        ZeroDivisionError."""
+        from repro.workloads import Request
+
+        sim, _ = self._sim(v4i_point_module)
+        # All traffic goes to cnn0; rnn0 is registered but idle.
+        stats = sim.simulate([Request(0.0, "cnn0"), Request(0.1, "cnn0")],
+                             "swap")
+        per = {t.tenant: t for t in stats.per_tenant}
+        assert set(per) == {"cnn0", "rnn0"}
+        assert per["cnn0"].requests == 2
+        assert per["rnn0"].requests == 0
+        assert per["rnn0"].p99_s == 0.0
+        assert per["rnn0"].mean_latency_s == 0.0
+        assert per["cnn0"].mean_latency_s > 0.0
+
+    def test_per_tenant_requests_conserve(self, v4i_point_module):
+        sim, _ = self._sim(v4i_point_module)
+        reqs = RequestGenerator(10).multi_tenant(["cnn0", "rnn0"],
+                                                 [30, 30], 1.0)
+        stats = sim.simulate(reqs, "partition")
+        assert sum(t.requests for t in stats.per_tenant) == stats.requests
+
+    def test_empty_window_stats_guarded(self):
+        """TenantWindowStats.from_latencies on no samples is all zeros."""
+        from repro.serving import TenantWindowStats
+
+        stats = TenantWindowStats.from_latencies("idle", [])
+        assert stats.requests == 0
+        assert stats.p99_s == 0.0
+        assert stats.mean_latency_s == 0.0
