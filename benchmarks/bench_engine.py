@@ -122,3 +122,28 @@ def test_engine_benchmark(benchmark):
     assert result["llm_phase_split"], (
         "prefill and decode must produce distinct priced latencies")
     assert result["llm_tokens"] > 0
+    # Generative recovery: the zero-checkpoint zero-fault policy must be
+    # bit-identical to running with no policy at all, snapshot bytes
+    # must flow through the HBM/host traffic ledger at the KV footprint,
+    # the chaos sweep must reproduce itself exactly, and checkpointed
+    # recovery must strictly beat scratch re-prefill on goodput (under
+    # mid-step kills) and served requests (under a permanent core death
+    # with migration).
+    assert result["llm_zero_ckpt_identical"], (
+        "a zero-checkpoint RecoveryPolicy under zero faults must be "
+        "bit-identical to the plain simulator")
+    assert result["llm_snapshot_ledger"], (
+        "snapshot bytes must land in the hbm and host traffic ledger "
+        "at exactly the KV-cache footprint")
+    assert result["llm_chaos_determinism"], (
+        "same seed must yield identical chaos-sweep rows")
+    assert result["llm_recovery_goodput_gain"], (
+        f"checkpointed goodput {result['llm_kill_goodput_ckpt']} must "
+        f"strictly beat scratch {result['llm_kill_goodput_scratch']} "
+        "under mid-step kills")
+    assert result["llm_recovery_served_gain"], (
+        f"checkpointed+migrated served {result['llm_outage_served_ckpt']} "
+        f"must strictly beat scratch {result['llm_outage_served_scratch']} "
+        "under a permanent core death")
+    assert result["llm_migrated"] > 0, (
+        "the outage scenario must actually migrate sequences")

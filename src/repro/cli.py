@@ -294,6 +294,8 @@ def _cmd_llm(args: argparse.Namespace) -> int:
     from repro.serving import llm_sweep
 
     models = tuple(args.models.split(",")) if args.models else ("llm0", "llm1")
+    if args.faults:
+        return _cmd_llm_faults(args, models)
     rows = llm_sweep(seed=args.seed, models=models, duration_s=args.duration,
                      slots=args.slots, utilization=args.utilization)
     table = Table(
@@ -314,6 +316,34 @@ def _cmd_llm(args: argparse.Namespace) -> int:
             100.0 * stats.per_token_violation_fraction,
             row.decode_ops_per_byte,
             "yes" if row.decode_memory_bound else "NO",
+        ])
+    print(table.render())
+    return 0
+
+
+def _cmd_llm_faults(args: argparse.Namespace, models: tuple) -> int:
+    from repro.serving import llm_chaos_sweep
+
+    rows = llm_chaos_sweep(
+        seed=args.seed, models=models, duration_s=args.duration,
+        slots=args.slots, utilization=args.utilization,
+        checkpoint_every=args.checkpoint_every)
+    table = Table(
+        ["chip", "model", "scenario", "policy", "reqs", "served",
+         "avail %", "goodput %", "wasted tok", "recovered", "recomputed",
+         "migrated", "snapshots", "TTFT p99 ms", "tok/s"],
+        title=f"Generative recovery chaos sweep (checkpoint every "
+              f"{args.checkpoint_every} tokens, {args.duration:.3g} s of "
+              f"traffic at {args.utilization:.0%} of decode capacity)")
+    for row in rows:
+        stats = row.stats
+        table.add_row([
+            row.chip, row.model, row.scenario, row.policy, stats.requests,
+            stats.served_requests, 100.0 * stats.availability,
+            100.0 * stats.goodput_fraction, stats.wasted_tokens,
+            stats.recovered_tokens, stats.recomputed_tokens,
+            stats.migrated_requests, stats.snapshots,
+            stats.ttft_p99_s * 1e3, stats.tokens_per_s,
         ])
     print(table.render())
     return 0
@@ -558,6 +588,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="simulated traffic seconds per (chip, model)")
     llm.add_argument("--utilization", type=float, default=0.6,
                      help="offered load vs steady decode capacity")
+    llm.add_argument("--faults", action="store_true",
+                     help="chaos sweep: compare scratch re-prefill vs "
+                          "checkpointed recovery under kills and a "
+                          "permanent core outage")
+    llm.add_argument("--checkpoint-every", type=int, default=8,
+                     help="snapshot cadence in generated tokens for the "
+                          "recovery policy (with --faults; default 8)")
     llm.set_defaults(func=_cmd_llm)
 
     trace = sub.add_parser(

@@ -512,17 +512,27 @@ def _bench_grid(apps: Sequence[str]) -> dict:
 
 
 def _bench_llm() -> dict:
-    """Time the generative serving sweep; assert its three contracts.
+    """Time the generative serving sweep; assert its contracts.
 
     Determinism (same seed, same rows, bit for bit), the roofline claim
-    (decode lands left of the ridge on every swept generation), and the
+    (decode lands left of the ridge on every swept generation), the
     phase split (prefill and decode price differently at equal batch —
-    the cache keys carry the phase, so they cannot alias).
+    the cache keys carry the phase, so they cannot alias), and the
+    recovery contracts: a zero-checkpoint zero-fault policy is
+    bit-identical to running with no policy, snapshot bytes land in the
+    HBM/host traffic ledger at exactly the KV-cache footprint, the
+    chaos sweep is deterministic, and under mid-step-kill chaos with a
+    permanent core death the checkpointed policy strictly beats the
+    scratch-re-prefill baseline on both goodput and served requests.
     """
-    from repro.arch.chip import TPUV4I
+    from repro.arch.chip import TPUV3, TPUV4I
     from repro.core.design_point import shared_design_point
-    from repro.serving.continuous import llm_sweep
-    from repro.workloads.generative import generative_by_name
+    from repro.serving.continuous import (ContinuousBatchingSimulator,
+                                          llm_chaos_sweep, llm_sweep,
+                                          phase_latency_table)
+    from repro.serving.recovery import RecoveryPolicy, snapshot_replay
+    from repro.workloads.generative import generative_by_name, \
+        sample_gen_requests
 
     t0 = time.perf_counter()
     first = llm_sweep(seed=5, chips=(TPUV4I,), duration_s=0.5)
@@ -533,6 +543,47 @@ def _bench_llm() -> dict:
     point = shared_design_point(TPUV4I)
     prefill_s = point.latency_s(spec.prefill(spec.prompt_buckets[0]), 1)
     decode_s = point.latency_s(spec.decode(spec.kv_buckets[0]), 1)
+
+    # Zero-checkpoint, zero-fault identity: the PR 10 contract that a
+    # do-nothing RecoveryPolicy cannot perturb a single float.
+    table = phase_latency_table(point, spec, spec.default_slots)
+    requests = sample_gen_requests(spec, 11, 200.0, 0.3)
+    plain_sim = ContinuousBatchingSimulator(point, spec)
+    plain_sim.seed_latencies(table)
+    zero_sim = ContinuousBatchingSimulator(
+        point, spec, recovery=RecoveryPolicy(checkpoint_every=0))
+    zero_sim.seed_latencies(table)
+    zero_ckpt_identical = (plain_sim.simulate(requests)
+                           == zero_sim.simulate(requests))
+
+    # Snapshot pricing flows through the replay's traffic ledger.
+    replayed = snapshot_replay(point, spec, spec.kv_buckets[0], 1)
+    ledger = dict(replayed.counters.bytes_by_level)
+    kv_bytes = spec.kv_cache_bytes(spec.kv_buckets[0], 1)
+    snapshot_ledger = (ledger.get("hbm") == kv_bytes
+                       and ledger.get("host") == kv_bytes
+                       and replayed.seconds > 0)
+
+    # Chaos: mid-step kills plus a permanent core death on a 2-core
+    # chip. Checkpoint + migrate must strictly beat scratch re-prefill
+    # on goodput AND served-request availability.
+    t0 = time.perf_counter()
+    chaos = llm_chaos_sweep(seed=5, models=("llm0",), chips=(TPUV3,),
+                            duration_s=0.5, checkpoint_every=8)
+    llm_chaos_s = time.perf_counter() - t0
+    chaos_repeat = llm_chaos_sweep(seed=5, models=("llm0",), chips=(TPUV3,),
+                                   duration_s=0.5, checkpoint_every=8)
+    by_key = {(r.scenario, r.policy.startswith("ckpt")): r.stats
+              for r in chaos}
+    kill_scratch = by_key[("kill", False)]
+    kill_ckpt = by_key[("kill", True)]
+    outage_scratch = by_key[("outage", False)]
+    outage_ckpt = by_key[("outage", True)]
+    goodput_gain = (kill_ckpt.goodput_fraction
+                    > kill_scratch.goodput_fraction)
+    served_gain = (outage_ckpt.served_requests
+                   > outage_scratch.served_requests)
+
     return {
         "llm_sweep_s": round(llm_sweep_s, 4),
         "llm_rows": len(first),
@@ -541,6 +592,18 @@ def _bench_llm() -> dict:
             row.decode_memory_bound for row in first),
         "llm_phase_split": prefill_s != decode_s,
         "llm_tokens": sum(row.stats.tokens_generated for row in first),
+        "llm_zero_ckpt_identical": zero_ckpt_identical,
+        "llm_snapshot_ledger": snapshot_ledger,
+        "llm_chaos_s": round(llm_chaos_s, 4),
+        "llm_chaos_rows": len(chaos),
+        "llm_chaos_determinism": chaos == chaos_repeat,
+        "llm_recovery_goodput_gain": goodput_gain,
+        "llm_recovery_served_gain": served_gain,
+        "llm_kill_goodput_scratch": round(kill_scratch.goodput_fraction, 4),
+        "llm_kill_goodput_ckpt": round(kill_ckpt.goodput_fraction, 4),
+        "llm_outage_served_scratch": outage_scratch.served_requests,
+        "llm_outage_served_ckpt": outage_ckpt.served_requests,
+        "llm_migrated": outage_ckpt.migrated_requests,
     }
 
 
@@ -747,6 +810,16 @@ def render_benchmark(record: dict) -> str:
         f"deterministic: {record['llm_determinism']}, decode memory-bound: "
         f"{record['llm_decode_memory_bound']}, phases priced separately: "
         f"{record['llm_phase_split']}",
+        f"  generative recovery ({record['llm_chaos_rows']} chaos rows): "
+        f"{record['llm_chaos_s']:.3f} s, deterministic: "
+        f"{record['llm_chaos_determinism']}, zero-ckpt identical: "
+        f"{record['llm_zero_ckpt_identical']}, snapshot ledger: "
+        f"{record['llm_snapshot_ledger']}, kill goodput "
+        f"{record['llm_kill_goodput_scratch']:.1%} -> "
+        f"{record['llm_kill_goodput_ckpt']:.1%}, outage served "
+        f"{record['llm_outage_served_scratch']} -> "
+        f"{record['llm_outage_served_ckpt']} "
+        f"({record['llm_migrated']} migrated)",
         f"  deterministic across modes: {record['deterministic']}",
         f"  cache: {record['cache']['entries']} entries, "
         f"{record['cache']['bytes']:,} B, "

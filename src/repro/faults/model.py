@@ -159,6 +159,20 @@ class FaultSchedule:
                 return (start, stop)
         return None
 
+    def permanent_death_s(self, core: int) -> Optional[float]:
+        """Start of the earliest never-repaired outage on ``core``.
+
+        A ``down`` interval whose end is ``inf`` marks a core that dies
+        and is never repaired within the schedule — the migration
+        orchestrator (``repro.serving.continuous``) uses this to decide
+        which cores need their sequences rebalanced to survivors before
+        the run. Returns ``None`` when every outage on the core repairs.
+        """
+        for start, stop in self._down_by_core[core]:
+            if math.isinf(stop):
+                return start
+        return None
+
     def slowdown_factor(self, core: int, t: float) -> float:
         """Combined slowdown multiplier in effect on ``core`` at ``t``.
 

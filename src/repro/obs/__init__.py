@@ -28,7 +28,8 @@ from repro.obs.metrics import (
     render_snapshot,
     set_metrics,
 )
-from repro.obs.report import RunProfile, profile_result, tier_report
+from repro.obs.report import RunProfile, goodput_report, \
+    profile_result, tier_report
 from repro.obs.tracer import (
     Span,
     SpanTracer,
@@ -59,4 +60,5 @@ __all__ = [
     "set_metrics",
     "spans_from_interpreter_trace",
     "tier_report",
+    "goodput_report",
 ]

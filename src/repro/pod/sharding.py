@@ -60,8 +60,9 @@ _PARALLELISMS = ("pipeline", "tensor")
 
 def attach_ici_rows(lowered: LoweredProgram, link: IciLink,
                     hop_transfers: Sequence[tuple],
-                    where: str = "pre") -> LoweredProgram:
-    """Append an ``"ici"`` DMA pool and price hop transfers as rows.
+                    where: str = "pre",
+                    level: str = ICI_LEVEL) -> LoweredProgram:
+    """Append a link DMA pool and price hop transfers as rows.
 
     ``hop_transfers`` is a sequence of ``(num_bytes, factor)`` pairs —
     one store-and-forward link hop each, ``factor`` the link's slowdown
@@ -73,9 +74,15 @@ def attach_ici_rows(lowered: LoweredProgram, link: IciLink,
     ``"post"`` inserts it after the last compute row but before any
     trailing HALT (a closing collective).
 
+    ``level`` names the synthetic pool the bytes are ledgered under:
+    :data:`ICI_LEVEL` for inter-chip hops (the default), or another
+    level such as the KV-recovery subsystem's ``"host"`` pool
+    (:data:`repro.serving.recovery.HOST_LEVEL`) for chip↔host offload
+    traffic priced over a PCIe-class link.
+
     The returned program is a new :class:`LoweredProgram`; the input is
-    never mutated. ICI bytes flow into the replay's per-level traffic
-    ledger under :data:`ICI_LEVEL`.
+    never mutated. The hop bytes flow into the replay's per-level
+    traffic ledger under ``level``.
     """
     if where not in ("pre", "post"):
         raise ValueError(f"where must be 'pre' or 'post', got {where!r}")
@@ -88,19 +95,19 @@ def attach_ici_rows(lowered: LoweredProgram, link: IciLink,
         if math.isnan(factor) or factor < 1.0:
             raise ValueError(f"hop factor must be >= 1, got {factor}")
 
-    if ICI_LEVEL in lowered.pool_levels:
-        pool = lowered.pool_levels.index(ICI_LEVEL)
+    if level in lowered.pool_levels:
+        pool = lowered.pool_levels.index(level)
         pool_levels = lowered.pool_levels
         pool_bandwidths = lowered.pool_bandwidths
         pool_latencies = lowered.pool_latencies
         level_names = lowered.level_names
     else:
         pool = len(lowered.pool_levels)
-        pool_levels = lowered.pool_levels + (ICI_LEVEL,)
+        pool_levels = lowered.pool_levels + (level,)
         pool_bandwidths = lowered.pool_bandwidths + (link.bandwidth,)
         pool_latencies = lowered.pool_latencies + (
             int(math.ceil(link.latency_s * lowered.clock_hz)),)
-        level_names = lowered.level_names + (ICI_LEVEL,)
+        level_names = lowered.level_names + (level,)
 
     flag = lowered.n_flags
     chain: list = [(K_BUNDLE, 0, 0, 0, 0.0)]

@@ -25,7 +25,12 @@ Generative models get their own loop: :mod:`repro.serving.continuous`
 admits decode *iterations* (not whole requests) into per-core slots —
 continuous batching — with the SLO split into TTFT and per-token
 budgets, driven by the prefill/decode phase programs in
-:mod:`repro.workloads.generative`.
+:mod:`repro.workloads.generative`. Its fault story is checkpointed:
+:mod:`repro.serving.recovery` prices every-k-token KV snapshots as
+lowered-IR DMA programs, so killed sequences resume from their last
+snapshot (delta re-prefill), permanently dead cores migrate their
+queues to survivors, and :class:`ContinuousStats` reports goodput —
+useful tokens over computed tokens.
 """
 
 from repro.serving.slo import Slo, percentile, percentile_sorted
@@ -51,9 +56,20 @@ from repro.serving.continuous import (
     ContinuousBatchingSimulator,
     ContinuousStats,
     GenerativeSlo,
+    LlmChaosRow,
     LlmSweepRow,
+    llm_chaos_sweep,
     llm_sweep,
     phase_latency_table,
+)
+from repro.serving.recovery import (
+    DEFAULT_HOST_LINK,
+    HOST_LEVEL,
+    RecoveryPolicy,
+    snapshot_latency_table,
+    snapshot_lowered,
+    snapshot_replay,
+    snapshot_seconds,
 )
 
 __all__ = [
@@ -80,7 +96,16 @@ __all__ = [
     "ContinuousBatchingSimulator",
     "ContinuousStats",
     "GenerativeSlo",
+    "LlmChaosRow",
     "LlmSweepRow",
+    "llm_chaos_sweep",
     "llm_sweep",
     "phase_latency_table",
+    "DEFAULT_HOST_LINK",
+    "HOST_LEVEL",
+    "RecoveryPolicy",
+    "snapshot_latency_table",
+    "snapshot_lowered",
+    "snapshot_replay",
+    "snapshot_seconds",
 ]

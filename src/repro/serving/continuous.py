@@ -27,10 +27,41 @@ prefix of every active request on that core*; survivors re-enqueue with
 their original arrival times under the model's retry budget and
 timeout, and re-prefill from scratch when re-admitted.
 
+A :class:`~repro.serving.recovery.RecoveryPolicy` changes those loss
+semantics into the checkpointed ones the training-supercomputer
+retrospective argues for (PAPERS.md):
+
+* every ``checkpoint_every`` generated tokens, due sequences take one
+  *snapshot step* — their KV caches copy HBM → host through a lowered
+  DMA program priced by the same replay as every other step (bytes in
+  the ``bytes_by_level`` ledger; see :mod:`repro.serving.recovery`), so
+  checkpoint cadence is a measurable latency-vs-recovery tradeoff;
+* a killed sequence whose snapshot covers ``snap`` tokens re-enqueues
+  as a *resume*: on re-admission it runs one *restore step* (snapshot
+  reload + a delta re-prefill of only the uncovered generated suffix)
+  instead of re-prefilling its whole prompt and regenerating
+  everything. Its first token already streamed, so TTFT keeps the
+  original prefill time while the per-token latency honestly absorbs
+  the outage and restore;
+* a permanently dead core's pending requests — and its active
+  sequences still admissible under the retry budget/timeout — *migrate*
+  round-robin to surviving cores instead of being dropped wholesale
+  (they become visible to survivors at the death instant, never
+  earlier).
+
+Goodput accounting runs with or without a policy:
+:class:`ContinuousStats` counts every token computed (prefill, decode,
+delta re-prefill), every token recomputed after a loss, and every token
+a snapshot recovered; ``goodput_fraction`` is generated ÷ computed —
+1.0 exactly on a faultless run.
+
 This event loop IS the reference path: there is no vectorized twin (the
 ``REPRO_FASTSERVE`` toggle does not apply here), and the byte-identity
-contract is run-to-run determinism — asserted in the engine bench and
-CI by diffing two ``repro llm`` runs.
+contract is two-fold — run-to-run determinism (asserted in the engine
+bench and CI by diffing two ``repro llm`` runs), and a zero-checkpoint
+zero-fault :class:`~repro.serving.recovery.RecoveryPolicy` being
+bit-identical to running with no policy at all (the same contract style
+as the ``REPRO_FASTSIM``/``REPRO_FASTSERVE`` identity gates).
 """
 
 from __future__ import annotations
@@ -38,10 +69,14 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, List, Mapping, Optional, Sequence, \
+    Tuple
 
 from repro.core.design_point import DesignPoint
+from repro.obs.metrics import metrics
 from repro.serving.batching import BatchPolicy
+from repro.serving.recovery import RecoveryPolicy, snapshot_latency_table, \
+    snapshot_seconds
 from repro.serving.server import (
     DEFAULT_RETRY_BUDGET,
     DEFAULT_RETRY_TIMEOUT_S,
@@ -84,6 +119,18 @@ class ContinuousStats:
     there is no shed bucket). ``served_requests`` defaults to "derive
     it" for hand-built instances; the simulator always passes its actual
     retirement count.
+
+    Goodput accounting is a second invariant: ``tokens_computed`` (every
+    token the engines actually produced — prefills, decodes, and delta
+    re-prefills after a fault) can never be less than
+    ``tokens_generated`` (the tokens of *served* requests), because
+    every delivered token was computed at least once.
+    ``goodput_fraction`` is their ratio; ``wasted_tokens`` the
+    difference — work burned on sequences that were later killed or
+    dropped. ``recomputed_tokens`` counts the subset of computed tokens
+    that repeated an earlier computation of the same position;
+    ``recovered_tokens`` counts positions a snapshot restore made
+    *unnecessary* to recompute.
     """
 
     workload: str
@@ -106,6 +153,13 @@ class ContinuousStats:
     dropped_requests: int = 0
     lost_steps: int = 0
     served_requests: int = -1
+    tokens_computed: int = -1
+    recomputed_tokens: int = 0
+    recovered_tokens: int = 0
+    migrated_requests: int = 0
+    snapshots: int = 0
+    snapshot_steps: int = 0
+    restore_steps: int = 0
 
     def __post_init__(self) -> None:
         if self.served_requests < 0:
@@ -116,6 +170,26 @@ class ContinuousStats:
                 f"request conservation violated: {self.requests} arrived != "
                 f"{self.served_requests} served + {self.dropped_requests} "
                 f"dropped")
+        if self.tokens_computed < 0:
+            object.__setattr__(self, "tokens_computed",
+                               self.tokens_generated)
+        if self.tokens_computed < self.tokens_generated:
+            raise ValueError(
+                f"goodput accounting violated: tokens_computed "
+                f"{self.tokens_computed} < tokens_generated "
+                f"{self.tokens_generated}")
+
+    @property
+    def wasted_tokens(self) -> int:
+        """Computed tokens that never reached a served request."""
+        return self.tokens_computed - self.tokens_generated
+
+    @property
+    def goodput_fraction(self) -> float:
+        """Useful tokens over computed tokens (1.0 for an idle engine)."""
+        if self.tokens_computed == 0:
+            return 1.0
+        return self.tokens_generated / self.tokens_computed
 
     def describe(self) -> str:
         base = (f"{self.workload} on {self.chip}: {self.requests} reqs, "
@@ -128,21 +202,63 @@ class ContinuousStats:
             base += (f", {self.availability:.2%} available "
                      f"({self.retried_requests} retries, "
                      f"{self.dropped_requests} dropped, "
-                     f"{self.lost_steps} steps lost)")
+                     f"{self.lost_steps} steps lost, goodput "
+                     f"{self.goodput_fraction:.2%})")
+        if self.snapshots or self.migrated_requests:
+            base += (f", {self.snapshots} snapshots, "
+                     f"{self.recovered_tokens} tokens recovered, "
+                     f"{self.migrated_requests} migrated")
         return base
+
+
+class _Pending:
+    """One queued request plus its recovery context (loop-internal).
+
+    A fresh arrival has no context: zero retries, nothing resumed. A
+    re-enqueued casualty carries what its next admission needs — the
+    snapshot coverage (``resume_tokens``), how far it had decoded
+    (``produced``), its original first-token time, and the deepest
+    position any earlier attempt reached (``high_water``, which is what
+    recompute counting is measured against). ``ready_s`` is when the
+    entry becomes admissible: the arrival time for fresh and same-core
+    retried entries, the death instant for migrants. ``order`` is the
+    request's index in the original stream — the deterministic
+    tiebreaker for merged queues.
+    """
+
+    __slots__ = ("request", "retries", "resume_tokens", "produced",
+                 "first_token_t", "high_water", "ready_s", "order")
+
+    def __init__(self, request: GenRequest, retries: int,
+                 resume_tokens: int, produced: int,
+                 first_token_t: Optional[float], high_water: int,
+                 ready_s: float, order: int) -> None:
+        self.request = request
+        self.retries = retries
+        self.resume_tokens = resume_tokens
+        self.produced = produced
+        self.first_token_t = first_token_t
+        self.high_water = high_water
+        self.ready_s = ready_s
+        self.order = order
 
 
 class _Slot:
     """One admitted request's engine-side state (mutable, loop-internal)."""
 
-    __slots__ = ("request", "retries", "produced", "target", "prefill_t")
+    __slots__ = ("request", "retries", "produced", "target", "prefill_t",
+                 "snap", "high_water", "restore_pending", "order")
 
-    def __init__(self, request: GenRequest, retries: int, target: int) -> None:
-        self.request = request
-        self.retries = retries
-        self.produced = 0          # tokens generated so far
-        self.target = target       # decode_len capped at max_decode_len
-        self.prefill_t = None      # completion time of the prefill, or None
+    def __init__(self, entry: _Pending, target: int) -> None:
+        self.request = entry.request
+        self.retries = entry.retries
+        self.produced = entry.produced  # tokens generated so far
+        self.target = target            # decode_len capped at max_decode_len
+        self.prefill_t = entry.first_token_t  # first-token time, or None
+        self.snap = entry.resume_tokens       # tokens covered by snapshot
+        self.high_water = entry.high_water    # deepest earlier attempt
+        self.restore_pending = entry.resume_tokens > 0
+        self.order = entry.order
 
 
 class _Accumulator:
@@ -150,7 +266,9 @@ class _Accumulator:
 
     __slots__ = ("ttft", "per_token", "served", "dropped", "retried",
                  "tokens", "prefills", "decode_steps", "decode_batch_sum",
-                 "lost_steps", "last_completion")
+                 "lost_steps", "last_completion", "computed", "recomputed",
+                 "recovered", "migrated", "snapshots", "snapshot_steps",
+                 "restores")
 
     def __init__(self) -> None:
         self.ttft: List[float] = []
@@ -164,6 +282,13 @@ class _Accumulator:
         self.decode_batch_sum = 0
         self.lost_steps = 0
         self.last_completion = 0.0
+        self.computed = 0
+        self.recomputed = 0
+        self.recovered = 0
+        self.migrated = 0
+        self.snapshots = 0
+        self.snapshot_steps = 0
+        self.restores = 0
 
 
 class ContinuousBatchingSimulator:
@@ -172,7 +297,8 @@ class ContinuousBatchingSimulator:
     def __init__(self, point: DesignPoint, spec: GenerativeSpec,
                  slots: Optional[int] = None,
                  slo: Optional[GenerativeSlo] = None,
-                 max_decode_len: Optional[int] = None) -> None:
+                 max_decode_len: Optional[int] = None,
+                 recovery: Optional[RecoveryPolicy] = None) -> None:
         self.point = point
         self.spec = spec
         self.slots = slots if slots is not None else spec.default_slots
@@ -184,6 +310,7 @@ class ContinuousBatchingSimulator:
                                else spec.max_decode_len)
         if self.max_decode_len < 1:
             raise ValueError("max_decode_len must be >= 1")
+        self.recovery = recovery
         # Decode batches pad to the same power-of-two ladder the classic
         # batcher compiles for; the policy also rejects padded_size(0),
         # so an empty decode step can never be priced.
@@ -195,16 +322,25 @@ class ContinuousBatchingSimulator:
     def step_latency_s(self, phase: str, bucket: int, batch: int) -> float:
         """Compute latency of one engine step (memoized).
 
-        Keyed by (phase, sequence bucket, padded batch); lookups route
-        through the design point and therefore the engine EvalCache,
-        whose keys carry the phase and KV bucket explicitly.
+        Keyed by (phase, sequence bucket, padded batch); prefill and
+        decode lookups route through the design point and therefore the
+        engine EvalCache, whose keys carry the phase and KV bucket
+        explicitly. The ``"snapshot"`` phase prices the policy's
+        HBM → host KV copy through the lowered-IR replay in
+        :mod:`repro.serving.recovery`.
         """
         padded = self._policy.padded_size(batch)
         key = (phase, bucket, padded)
         if key not in self._latency:
-            spec = (self.spec.prefill(bucket) if phase == "prefill"
-                    else self.spec.decode(bucket))
-            self._latency[key] = self.point.latency_s(spec, padded)
+            if phase == "snapshot":
+                link = (self.recovery.host_link if self.recovery is not None
+                        else RecoveryPolicy().host_link)
+                self._latency[key] = snapshot_seconds(
+                    self.point, self.spec, bucket, padded, host_link=link)
+            else:
+                spec = (self.spec.prefill(bucket) if phase == "prefill"
+                        else self.spec.decode(bucket))
+                self._latency[key] = self.point.latency_s(spec, padded)
         return self._latency[key]
 
     def seed_latencies(
@@ -212,17 +348,37 @@ class ContinuousBatchingSimulator:
         """Pre-seed the (phase, bucket, padded batch) -> latency memo.
 
         For latencies obtained outside the design point's default path —
-        an int8-retargeted compile on a chip without bf16 (TPUv1), or a
+        an int8-retargeted compile on a chip without bf16 (TPUv1), a
+        :func:`~repro.serving.recovery.snapshot_latency_table`, or a
         synthetic table in tests.
         """
         for (phase, _bucket, batch), latency in table.items():
-            if phase not in ("prefill", "decode"):
+            if phase not in ("prefill", "decode", "snapshot"):
                 raise ValueError(f"unknown phase {phase!r}")
             if batch < 1:
                 raise ValueError("batch must be >= 1")
             if latency < 0:
                 raise ValueError("latency must be non-negative")
         self._latency.update(table)
+
+    def _restore_latency_s(self, slot: _Slot) -> float:
+        """One restore step: snapshot reload + delta re-prefill.
+
+        The reload prices like the snapshot that produced it (the
+        transfer is byte-symmetric, host → HBM); the uncovered generated
+        suffix — positions the snapshot missed but the user already
+        received — re-prefills at the suffix's prompt bucket. Long
+        suffixes saturate at the largest prompt bucket, the same
+        conservative padding trade prefill itself makes.
+        """
+        depth = slot.request.prompt_len + slot.snap
+        latency = self.step_latency_s(
+            "snapshot", self.spec.kv_bucket(depth), 1)
+        suffix = slot.produced - slot.snap
+        if suffix > 0:
+            latency += self.step_latency_s(
+                "prefill", self.spec.prompt_bucket(suffix), 1)
+        return latency
 
     # -------------------------------------------------------------- simulate
 
@@ -235,6 +391,16 @@ class ContinuousBatchingSimulator:
         Unlike the classic simulator, an empty stream is a valid quiet
         window (continuous engines idle between bursts), returning
         all-zero stats rather than raising.
+
+        With a migrating :class:`~repro.serving.recovery.RecoveryPolicy`
+        and a schedule containing permanent core deaths, the dying
+        cores run first: the work they lose at death — pending entries,
+        plus active sequences still admissible under the retry
+        budget/timeout — rebalances round-robin onto the surviving
+        cores' queues (ready at the death instant), and only then do
+        the survivors run. Without a policy (or with no survivor), a
+        permanent death keeps the PR 9 semantics: the core's whole
+        substream is dropped.
         """
         arrivals = [r.arrival_s for r in requests]
         if arrivals != sorted(arrivals):
@@ -256,66 +422,182 @@ class ContinuousBatchingSimulator:
         if schedule is not None and schedule.is_empty:
             schedule = None
 
-        acc = _Accumulator()
-        for core in range(cores):
-            substream = [r for i, r in enumerate(requests) if i % cores == core]
-            if substream:
-                self._run_core(core, substream, schedule, retry_budget,
-                               retry_timeout, acc)
-        return self._finalize(requests, acc)
+        substreams: List[List[_Pending]] = [[] for _ in range(cores)]
+        for order, request in enumerate(requests):
+            substreams[order % cores].append(_Pending(
+                request, 0, 0, 0, None, 0, request.arrival_s, order))
 
-    def _run_core(self, core: int, requests: Sequence[GenRequest],
+        dying: List[int] = []
+        survivors = list(range(cores))
+        if (self.recovery is not None and self.recovery.migrate
+                and schedule is not None):
+            deaths = [schedule.permanent_death_s(core)
+                      for core in range(cores)]
+            dying = [c for c in range(cores) if deaths[c] is not None]
+            survivors = [c for c in range(cores) if deaths[c] is None]
+
+        acc = _Accumulator()
+        if dying and survivors:
+            migrants: List[_Pending] = []
+            for core in dying:
+                if substreams[core]:
+                    self._run_core(core, deque(substreams[core]), schedule,
+                                   retry_budget, retry_timeout, acc, migrants)
+            acc.migrated = len(migrants)
+            migrants.sort(key=lambda e: (e.ready_s, e.request.arrival_s,
+                                         e.order))
+            assigned: dict[int, List[_Pending]] = {c: [] for c in survivors}
+            for index, entry in enumerate(migrants):
+                assigned[survivors[index % len(survivors)]].append(entry)
+            for core in survivors:
+                merged = sorted(substreams[core] + assigned[core],
+                                key=lambda e: (e.ready_s, e.order))
+                if merged:
+                    self._run_core(core, deque(merged), schedule,
+                                   retry_budget, retry_timeout, acc, None)
+        else:
+            for core in range(cores):
+                if substreams[core]:
+                    self._run_core(core, deque(substreams[core]), schedule,
+                                   retry_budget, retry_timeout, acc, None)
+
+        stats = self._finalize(requests, acc)
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("continuous.requests").inc(stats.requests)
+            reg.counter("continuous.served").inc(stats.served_requests)
+            reg.counter("continuous.dropped").inc(stats.dropped_requests)
+            reg.counter("continuous.retried").inc(stats.retried_requests)
+            reg.counter("continuous.migrated").inc(stats.migrated_requests)
+            reg.counter("continuous.snapshots").inc(stats.snapshots)
+            reg.counter("continuous.tokens_computed").inc(
+                stats.tokens_computed)
+            reg.counter("continuous.recovered_tokens").inc(
+                stats.recovered_tokens)
+            reg.counter("continuous.wasted_tokens").inc(stats.wasted_tokens)
+        return stats
+
+    def _requeue_entry(self, slot: _Slot,
+                       ready_s: Optional[float] = None) -> _Pending:
+        """The pending entry a killed slot re-enqueues as.
+
+        With a policy and a snapshot, the slot resumes — its coverage,
+        progress, and original first-token time travel with it.
+        Otherwise it restarts from scratch exactly as PR 9 did; either
+        way ``high_water`` remembers the deepest position reached, so
+        the tokens the next attempt replays are counted as recomputed.
+        ``ready_s`` defaults to the original arrival (same-core retry);
+        migration passes the death instant.
+        """
+        arrival = slot.request.arrival_s
+        ready = arrival if ready_s is None else max(arrival, ready_s)
+        high_water = max(slot.high_water, slot.produced)
+        if self.recovery is not None and slot.snap > 0:
+            return _Pending(slot.request, slot.retries + 1, slot.snap,
+                            slot.produced, slot.prefill_t, high_water,
+                            ready, slot.order)
+        return _Pending(slot.request, slot.retries + 1, 0, 0, None,
+                        high_water, ready, slot.order)
+
+    def _lose_core(self, active: List[_Slot], pending: Deque[_Pending],
+                   t: float, retry_budget: int, retry_timeout: float,
+                   acc: _Accumulator,
+                   migrants_out: Optional[List[_Pending]]) -> None:
+        """A core is gone for good at ``t``: migrate or drop its work.
+
+        Without migration (``migrants_out is None``) everything the core
+        owns — active prefixes and its whole static substream — is lost,
+        the PR 9 semantics. With migration, active sequences are gated
+        by the same retry budget/timeout every mid-step kill applies
+        (the satellite fix: a request is only dropped when a retry
+        would be inadmissible anyway), and pending entries move without
+        consuming a retry — they had no in-flight work to lose.
+        """
+        if migrants_out is None:
+            acc.dropped += len(active) + len(pending)
+            return
+        for slot in active:
+            if (slot.retries + 1 > retry_budget
+                    or t - slot.request.arrival_s > retry_timeout):
+                acc.dropped += 1
+            else:
+                acc.retried += 1
+                migrants_out.append(self._requeue_entry(slot, ready_s=t))
+        for entry in pending:
+            entry.ready_s = max(entry.ready_s, t)
+            migrants_out.append(entry)
+
+    def _run_core(self, core: int, pending: Deque[_Pending],
                   schedule: Optional["FaultSchedule"], retry_budget: int,
-                  retry_timeout: float, acc: _Accumulator) -> None:
-        """One core's engine loop over its round-robin substream."""
-        pending = deque((r, 0) for r in requests)  # (request, retries)
+                  retry_timeout: float, acc: _Accumulator,
+                  migrants_out: Optional[List[_Pending]]) -> None:
+        """One core's engine loop over its (possibly merged) queue."""
         active: List[_Slot] = []
         now = 0.0
 
         while pending or active:
             if not active and pending:
-                now = max(now, pending[0][0].arrival_s)
+                now = max(now, pending[0].ready_s)
 
             if schedule is not None:
                 down_until = schedule.outage_end(core, now)
                 if down_until is not None:
                     if math.isinf(down_until):
-                        # Core is gone for good: everything it owns —
-                        # active prefixes and its whole substream — is
-                        # lost (round-robin placement is static).
-                        acc.dropped += len(active) + len(pending)
+                        self._lose_core(active, pending, now, retry_budget,
+                                        retry_timeout, acc, migrants_out)
                         return
                     now = down_until
 
-            # Admission: arrived requests claim free slots FIFO. A
+            # Admission: ready requests claim free slots FIFO. A
             # retried request whose re-admission would already exceed
             # the retry timeout is dropped here, never served late.
             while (pending and len(active) < self.slots
-                   and pending[0][0].arrival_s <= now):
-                request, retries = pending.popleft()
-                if retries > 0 and now - request.arrival_s > retry_timeout:
+                   and pending[0].ready_s <= now):
+                entry = pending.popleft()
+                if (entry.retries > 0
+                        and now - entry.request.arrival_s > retry_timeout):
                     acc.dropped += 1
                     continue
-                active.append(_Slot(request, retries,
-                                    min(request.decode_len,
-                                        self.max_decode_len)))
+                active.append(_Slot(entry, min(entry.request.decode_len,
+                                               self.max_decode_len)))
             if not active:
                 continue  # timed-out retries only; re-check arrivals
 
-            # Step selection: oldest un-prefilled slot first, else one
-            # decode iteration over every prefilled slot.
-            waiting_prefill = [s for s in active if s.prefill_t is None]
-            if waiting_prefill:
-                members = [waiting_prefill[0]]
-                phase = "prefill"
-                bucket = self.spec.prompt_bucket(members[0].request.prompt_len)
+            # Step selection: oldest slot needing a prefill or a restore
+            # first; then, when checkpointing, a snapshot step for every
+            # sequence whose uncovered progress reached the cadence;
+            # else one decode iteration over every prefilled slot.
+            waiting = [s for s in active
+                       if s.prefill_t is None or s.restore_pending]
+            due: List[_Slot] = []
+            if waiting:
+                members = [waiting[0]]
+                if members[0].restore_pending:
+                    phase = "restore"
+                    latency = self._restore_latency_s(members[0])
+                else:
+                    phase = "prefill"
+                    bucket = self.spec.prompt_bucket(
+                        members[0].request.prompt_len)
+                    latency = self.step_latency_s(phase, bucket, 1)
             else:
-                members = active
-                phase = "decode"
-                deepest = max(s.request.prompt_len + s.produced
-                              for s in members)
-                bucket = self.spec.kv_bucket(deepest)
-            latency = self.step_latency_s(phase, bucket, len(members))
+                if self.recovery is not None and self.recovery.checkpointing:
+                    every = self.recovery.checkpoint_every
+                    due = [s for s in active if s.produced - s.snap >= every]
+                if due:
+                    members = due
+                    phase = "snapshot"
+                    deepest = max(s.request.prompt_len + s.produced
+                                  for s in members)
+                    bucket = self.spec.kv_bucket(deepest)
+                    latency = self.step_latency_s(phase, bucket, len(members))
+                else:
+                    members = active
+                    phase = "decode"
+                    deepest = max(s.request.prompt_len + s.produced
+                                  for s in members)
+                    bucket = self.spec.kv_bucket(deepest)
+                    latency = self.step_latency_s(phase, bucket, len(members))
             if schedule is not None:
                 latency *= schedule.slowdown_factor(core, now)
             completion = now + latency
@@ -324,17 +606,19 @@ class ContinuousBatchingSimulator:
                 failure = schedule.first_failure_between(core, now, completion)
                 if failure is not None:
                     # The core died mid-step. KV caches are core-resident,
-                    # so EVERY active request loses its generated prefix,
-                    # not just the step's members; survivors re-enqueue
-                    # (front, original arrivals) and re-prefill later.
+                    # so EVERY active request loses its generated prefix
+                    # beyond its last snapshot, not just the step's
+                    # members; survivors re-enqueue (front, original
+                    # arrivals) and resume or re-prefill when re-admitted.
                     fail_start, fail_end = failure
                     acc.lost_steps += 1
                     if math.isinf(fail_end):
-                        # The core never comes back: its prefixes and
-                        # its whole static substream are gone.
-                        acc.dropped += len(active) + len(pending)
+                        # The core never comes back.
+                        self._lose_core(active, pending, fail_start,
+                                        retry_budget, retry_timeout, acc,
+                                        migrants_out)
                         return
-                    survivors: List[Tuple[GenRequest, int]] = []
+                    survivors: List[_Pending] = []
                     for slot in active:
                         if (slot.retries + 1 > retry_budget
                                 or fail_start - slot.request.arrival_s
@@ -342,7 +626,7 @@ class ContinuousBatchingSimulator:
                             acc.dropped += 1
                         else:
                             acc.retried += 1
-                            survivors.append((slot.request, slot.retries + 1))
+                            survivors.append(self._requeue_entry(slot))
                     pending.extendleft(reversed(survivors))
                     active = []
                     now = fail_end
@@ -355,11 +639,30 @@ class ContinuousBatchingSimulator:
                 slot.prefill_t = completion
                 slot.produced = 1
                 acc.prefills += 1
+                acc.computed += 1
+                if slot.high_water >= 1:
+                    acc.recomputed += 1
+            elif phase == "restore":
+                slot = members[0]
+                suffix = slot.produced - slot.snap
+                acc.computed += suffix
+                acc.recomputed += suffix
+                acc.recovered += slot.snap
+                acc.restores += 1
+                slot.restore_pending = False
+            elif phase == "snapshot":
+                acc.snapshot_steps += 1
+                acc.snapshots += len(members)
+                for slot in members:
+                    slot.snap = slot.produced
             else:
                 acc.decode_steps += 1
                 acc.decode_batch_sum += len(members)
+                acc.computed += len(members)
                 for slot in members:
                     slot.produced += 1
+                    if slot.produced <= slot.high_water:
+                        acc.recomputed += 1
 
             retiring = [s for s in active if s.produced >= s.target]
             if retiring:
@@ -412,6 +715,13 @@ class ContinuousBatchingSimulator:
             dropped_requests=acc.dropped,
             lost_steps=acc.lost_steps,
             served_requests=acc.served,
+            tokens_computed=acc.computed,
+            recomputed_tokens=acc.recomputed,
+            recovered_tokens=acc.recovered,
+            migrated_requests=acc.migrated,
+            snapshots=acc.snapshots,
+            snapshot_steps=acc.snapshot_steps,
+            restore_steps=acc.restores,
         )
 
 
@@ -486,19 +796,27 @@ class LlmSweepRow:
     stats: ContinuousStats
 
 
-def llm_sweep(seed: int = 0, *,
-              models: Sequence[str] = ("llm0", "llm1"),
-              chips: Optional[Sequence] = None,
-              duration_s: float = 2.0,
-              slots: Optional[int] = None,
-              utilization: float = 0.6) -> List[LlmSweepRow]:
-    """Continuous-batching serving sweep across chips and decoder models.
+@dataclass(frozen=True)
+class LlmChaosRow:
+    """One (chip, model, scenario, policy) outcome of the chaos sweep."""
 
-    One row per (chip, model): seeded traffic (arrivals + per-request
-    prompt/decode lengths) at ``utilization`` of the engine's steady
-    decode token throughput, simulated under continuous batching. The
-    whole sweep is a pure function of its arguments — same seed, same
-    rows, byte for byte (asserted in the engine bench and CI).
+    chip: str
+    model: str
+    scenario: str
+    policy: str
+    checkpoint_every: int
+    stats: ContinuousStats
+
+
+def _sweep_pairs(seed: int, models: Sequence[str],
+                 chips: Optional[Sequence], duration_s: float,
+                 slots: Optional[int], utilization: float) -> List[tuple]:
+    """The shared (chip, model) setup behind both generative sweeps.
+
+    One entry per pair: the design point, seeded latency table, derived
+    offered rate, and sampled request stream. Deriving the rate from the
+    seeded table keeps every sweep a pure function of its arguments —
+    same seed, same traffic, byte for byte.
     """
     from repro.arch import GENERATIONS
     from repro.core.design_point import shared_design_point
@@ -511,16 +829,13 @@ def llm_sweep(seed: int = 0, *,
         raise ValueError("utilization must be in (0, 1]")
     chip_list = tuple(chips) if chips is not None else GENERATIONS
 
-    rows: List[LlmSweepRow] = []
+    pairs: List[tuple] = []
     for pair_index, (chip, model) in enumerate(
             (c, m) for c in chip_list for m in models):
         spec = generative_by_name(model)
         point = shared_design_point(chip)
         n_slots = slots if slots is not None else spec.default_slots
         table = phase_latency_table(point, spec, n_slots)
-
-        simulator = ContinuousBatchingSimulator(point, spec, slots=n_slots)
-        simulator.seed_latencies(table)
 
         # Steady-state capacity: a full decode batch advances n_slots
         # sequences one token per step, and a request needs one prefill
@@ -537,8 +852,34 @@ def llm_sweep(seed: int = 0, *,
 
         requests = sample_gen_requests(
             spec, seed * 7919 + pair_index, rate_qps, duration_s)
+        pairs.append((chip, spec, point, n_slots, table, policy, rate_qps,
+                      requests, pair_index))
+    return pairs
+
+
+def llm_sweep(seed: int = 0, *,
+              models: Sequence[str] = ("llm0", "llm1"),
+              chips: Optional[Sequence] = None,
+              duration_s: float = 2.0,
+              slots: Optional[int] = None,
+              utilization: float = 0.6) -> List[LlmSweepRow]:
+    """Continuous-batching serving sweep across chips and decoder models.
+
+    One row per (chip, model): seeded traffic (arrivals + per-request
+    prompt/decode lengths) at ``utilization`` of the engine's steady
+    decode token throughput, simulated under continuous batching. The
+    whole sweep is a pure function of its arguments — same seed, same
+    rows, byte for byte (asserted in the engine bench and CI).
+    """
+    rows: List[LlmSweepRow] = []
+    for (chip, spec, point, n_slots, table, policy, rate_qps, requests,
+         _pair_index) in _sweep_pairs(seed, models, chips, duration_s,
+                                      slots, utilization):
         if not requests:
             continue  # degenerate rate/duration; nothing to serve
+
+        simulator = ContinuousBatchingSimulator(point, spec, slots=n_slots)
+        simulator.seed_latencies(table)
         stats = simulator.simulate(requests)
 
         decode_spec = spec.decode(spec.kv_buckets[0])
@@ -548,4 +889,77 @@ def llm_sweep(seed: int = 0, *,
             offered_qps=rate_qps, decode_ops_per_byte=oi,
             decode_memory_bound=oi < chip.ridge_ops_per_byte(),
             stats=stats))
+    return rows
+
+
+def llm_chaos_sweep(seed: int = 0, *,
+                    models: Sequence[str] = ("llm0", "llm1"),
+                    chips: Optional[Sequence] = None,
+                    duration_s: float = 2.0,
+                    slots: Optional[int] = None,
+                    utilization: float = 0.6,
+                    checkpoint_every: int = 8) -> List[LlmChaosRow]:
+    """Recovery-policy comparison under chaos, per (chip, model).
+
+    Three scenarios — ``faultless`` (checkpoint overhead in isolation),
+    ``kill`` (seeded repairable mid-step core kills), and ``outage``
+    (the last core dies permanently mid-stream) — each simulated twice
+    over the *same* traffic and fault schedule: once with the PR 9
+    scratch-re-prefill baseline (no policy) and once with an
+    every-``checkpoint_every``-tokens snapshot policy with migration.
+    The goodput, recovery, and migration columns are the measurable
+    answer to "what does a checkpoint interval buy": like
+    :func:`llm_sweep`, the whole table is a pure function of its
+    arguments (asserted by byte-diffing two ``repro llm --faults`` runs
+    in CI).
+    """
+    from repro.faults.model import FaultModel, FaultSchedule
+
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}")
+
+    rows: List[LlmChaosRow] = []
+    for (chip, spec, point, n_slots, table, _policy, _rate_qps, requests,
+         pair_index) in _sweep_pairs(seed, models, chips, duration_s,
+                                     slots, utilization):
+        if not requests:
+            continue
+        cores = chip.cores
+        last_arrival = requests[-1].arrival_s
+        horizon = last_arrival + 1.0
+        # Enough repairable kills to matter, deterministic per pair; the
+        # permanent death lands mid-arrival-stream so roughly half the
+        # dying core's substream is still in flight or unserved.
+        kill_model = FaultModel(seed=seed * 104729 + pair_index,
+                                core_mtbf_s=horizon / 6.0,
+                                core_repair_s=horizon / 30.0,
+                                retry_budget=4)
+        quiet_model = FaultModel(retry_budget=4)
+        outage = FaultSchedule(
+            cores, horizon,
+            down=((cores - 1, last_arrival / 2.0, math.inf),))
+        scenarios = (("faultless", None, None),
+                     ("kill", kill_model, None),
+                     ("outage", quiet_model, outage))
+        recovery = RecoveryPolicy(checkpoint_every=checkpoint_every)
+        snap_table = snapshot_latency_table(
+            point, spec, n_slots, host_link=recovery.host_link)
+        policies = (("scratch", None),
+                    (f"ckpt{checkpoint_every}", recovery))
+
+        for scenario, fault_model, schedule in scenarios:
+            for policy_name, policy_recovery in policies:
+                simulator = ContinuousBatchingSimulator(
+                    point, spec, slots=n_slots, recovery=policy_recovery)
+                simulator.seed_latencies(table)
+                simulator.seed_latencies(snap_table)
+                stats = simulator.simulate(requests, faults=fault_model,
+                                           schedule=schedule)
+                rows.append(LlmChaosRow(
+                    chip=chip.name, model=spec.name, scenario=scenario,
+                    policy=policy_name,
+                    checkpoint_every=(checkpoint_every
+                                      if policy_recovery is not None else 0),
+                    stats=stats))
     return rows

@@ -29,6 +29,7 @@ already makes on the batch axis.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -96,6 +97,20 @@ class GenerativeSpec:
         if self.hidden % self.heads:
             raise ValueError(
                 f"hidden {self.hidden} not divisible by heads {self.heads}")
+        # Named-value validation in the IciLink style: a NaN mean would
+        # pass every comparison and poison the lognormal sampler; a zero
+        # or negative budget would make every request an SLO violation
+        # by construction. Reject all of them here, by name.
+        for name in ("mean_prompt", "mean_decode", "slo_ttft_ms",
+                     "slo_per_token_ms"):
+            value = getattr(self, name)
+            if math.isnan(value):
+                raise ValueError(f"{name} must not be NaN")
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.default_slots < 1:
+            raise ValueError(
+                f"default_slots must be >= 1, got {self.default_slots}")
         if not self.prompt_buckets or not self.kv_buckets:
             raise ValueError("need at least one prompt and one KV bucket")
         if tuple(sorted(self.prompt_buckets)) != self.prompt_buckets:
@@ -303,12 +318,21 @@ class GenRequest:
     tenant: str = "llm"
 
     def __post_init__(self) -> None:
+        # Named-value errors, IciLink style. NaN needs an explicit check
+        # — it slides through every < comparison — and a NaN arrival
+        # would silently corrupt the event loop's clock instead of
+        # failing here at construction.
+        if math.isnan(self.arrival_s):
+            raise ValueError("arrival_s must not be NaN")
         if self.arrival_s < 0:
-            raise ValueError("arrival time must be non-negative")
+            raise ValueError(
+                f"arrival_s must be non-negative, got {self.arrival_s}")
         if self.prompt_len < 1:
-            raise ValueError("prompt length must be >= 1")
+            raise ValueError(
+                f"prompt_len must be >= 1, got {self.prompt_len}")
         if self.decode_len < 1:
-            raise ValueError("decode length must be >= 1")
+            raise ValueError(
+                f"decode_len must be >= 1, got {self.decode_len}")
 
 
 def sample_gen_requests(spec: GenerativeSpec, seed: int, rate_qps: float,

@@ -198,6 +198,32 @@ class TestBoundaryContract:
         assert schedule.first_failure_between(0, 0.999, 1.001) == (1.0, 2.0)
 
 
+class TestPermanentDeath:
+    """``permanent_death_s`` drives sequence migration: the continuous
+    simulator drains dying cores first and reroutes their queues."""
+
+    def test_repairable_outages_are_not_death(self):
+        schedule = FaultSchedule(1, 10.0,
+                                 down=[(0, 1.0, 2.0), (0, 5.0, 6.0)])
+        assert schedule.permanent_death_s(0) is None
+
+    def test_infinite_end_is_death_at_its_start(self):
+        schedule = FaultSchedule(1, 10.0, down=[(0, 3.0, math.inf)])
+        assert schedule.permanent_death_s(0) == 3.0
+
+    def test_earliest_permanent_outage_wins(self):
+        schedule = FaultSchedule(
+            1, 10.0,
+            down=[(0, 7.0, math.inf), (0, 1.0, 2.0), (0, 4.0, math.inf)])
+        assert schedule.permanent_death_s(0) == 4.0
+
+    def test_deaths_are_per_core(self):
+        schedule = FaultSchedule(3, 10.0, down=[(1, 2.0, math.inf)])
+        assert schedule.permanent_death_s(0) is None
+        assert schedule.permanent_death_s(1) == 2.0
+        assert schedule.permanent_death_s(2) is None
+
+
 class TestZeroFaultIdentity:
     def test_zero_fault_model_bit_identical(self, v4i_simulator, traffic):
         baseline = v4i_simulator.simulate(traffic)

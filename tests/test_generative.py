@@ -217,6 +217,38 @@ class TestSampleRequests:
         with pytest.raises(ValueError):
             GenRequest(0.0, 10, 0)
 
+    def test_request_validation_names_the_value(self):
+        """Rejections name the offending field and echo the value, so a
+        bad workload file points straight at its own bug."""
+        with pytest.raises(ValueError, match="arrival_s.*-1.0"):
+            GenRequest(-1.0, 10, 10)
+        with pytest.raises(ValueError, match="arrival_s must not be NaN"):
+            GenRequest(float("nan"), 10, 10)
+        with pytest.raises(ValueError, match="prompt_len.*got 0"):
+            GenRequest(0.0, 0, 10)
+        with pytest.raises(ValueError, match="decode_len.*got -3"):
+            GenRequest(0.0, 10, -3)
+
+    def test_spec_validation_names_the_value(self):
+        def spec(**overrides):
+            kwargs = dict(name="bad", layers=4, hidden=256, heads=4,
+                          vocab=1000, mean_prompt=64.0, mean_decode=16.0,
+                          slo_ttft_ms=100.0, slo_per_token_ms=20.0)
+            kwargs.update(overrides)
+            return GenerativeSpec(**kwargs)
+
+        with pytest.raises(ValueError, match="mean_prompt must not be NaN"):
+            spec(mean_prompt=float("nan"))
+        with pytest.raises(ValueError, match="mean_decode.*got 0"):
+            spec(mean_decode=0.0)
+        with pytest.raises(ValueError, match="slo_ttft_ms.*got -5"):
+            spec(slo_ttft_ms=-5.0)
+        with pytest.raises(ValueError,
+                           match="slo_per_token_ms must not be NaN"):
+            spec(slo_per_token_ms=float("nan"))
+        with pytest.raises(ValueError, match="default_slots.*got 0"):
+            spec(default_slots=0)
+
 
 class TestContinuousBatching:
     def test_zero_requests_is_quiet_window(self):
